@@ -1,0 +1,107 @@
+//! Preemption-victim selection for the CapacityScheduler baseline.
+
+use tetrisched_sim::{RunningJob, Time};
+
+/// Whether a running job may be preempted to enforce a capacity guarantee.
+///
+/// Preemptible containers are those *not* currently protected by a live
+/// reservation window: best-effort jobs, SLO jobs without reservations, and
+/// formerly reserved jobs that outlived their reservation window.
+pub fn is_preemptible(_job: &RunningJob, reservation_end: Option<Time>, now: Time) -> bool {
+    match reservation_end {
+        // Accepted-SLO job: protected while its reservation window is live.
+        Some(end) => now >= end,
+        // Everything else runs at best-effort priority.
+        None => true,
+    }
+}
+
+/// Picks victims to free at least `needed` nodes, most recently started
+/// first (minimizing lost work), from jobs already determined preemptible.
+///
+/// Returns the chosen victims (possibly freeing more than `needed` since
+/// gangs release whole node sets), or `None` when even preempting every
+/// candidate cannot cover the deficit.
+pub fn select_victims<'a>(
+    candidates: &[&'a RunningJob],
+    needed: usize,
+) -> Option<Vec<&'a RunningJob>> {
+    let total: usize = candidates.iter().map(|j| j.nodes.len()).sum();
+    if total < needed {
+        return None;
+    }
+    let mut by_recency: Vec<&RunningJob> = candidates.to_vec();
+    // Most recent start first; job id breaks ties deterministically.
+    by_recency.sort_by_key(|j| (std::cmp::Reverse(j.started), j.id));
+    let mut out = Vec::new();
+    let mut freed = 0usize;
+    for j in by_recency {
+        if freed >= needed {
+            break;
+        }
+        freed += j.nodes.len();
+        out.push(j);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetrisched_cluster::NodeId;
+    use tetrisched_sim::JobId;
+    use tetrisched_strl::JobClass;
+
+    fn running(id: u64, started: Time, width: usize) -> RunningJob {
+        RunningJob {
+            id: JobId(id),
+            class: JobClass::BestEffort,
+            started,
+            nodes: (0..width).map(|i| NodeId(i as u32)).collect(),
+            expected_end: started + 100,
+            preferred: true,
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn reservation_protects_until_window_end() {
+        let j = running(0, 0, 2);
+        assert!(!is_preemptible(&j, Some(50), 10));
+        assert!(is_preemptible(&j, Some(50), 50));
+        assert!(is_preemptible(&j, None, 10));
+    }
+
+    #[test]
+    fn victims_most_recent_first() {
+        let a = running(0, 10, 2);
+        let b = running(1, 30, 2);
+        let c = running(2, 20, 2);
+        let picked = select_victims(&[&a, &b, &c], 3).unwrap();
+        let ids: Vec<u64> = picked.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![1, 2]); // started at 30, then 20
+    }
+
+    #[test]
+    fn insufficient_candidates_returns_none() {
+        let a = running(0, 10, 2);
+        assert!(select_victims(&[&a], 3).is_none());
+    }
+
+    #[test]
+    fn exact_fit_stops_early() {
+        let a = running(0, 10, 4);
+        let b = running(1, 20, 4);
+        let picked = select_victims(&[&a, &b], 4).unwrap();
+        assert_eq!(picked.len(), 1);
+        assert_eq!(picked[0].id.0, 1);
+    }
+
+    #[test]
+    fn tie_on_start_breaks_by_id() {
+        let a = running(0, 10, 1);
+        let b = running(1, 10, 1);
+        let picked = select_victims(&[&b, &a], 1).unwrap();
+        assert_eq!(picked[0].id.0, 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion benches: one per paper figure, at smoke scale, so
+//! `cargo bench` regenerates every experiment pipeline in bounded time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tetrisched_bench::figures::{fig10, fig11, fig12_cdf, fig6, fig7, fig8, fig9, FigScale};
+
+fn scale() -> FigScale {
+    FigScale {
+        num_jobs: 10,
+        ..FigScale::smoke()
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig6_grmix_error_sweep", |b| {
+        b.iter(|| black_box(fig6(&scale())))
+    });
+    g.bench_function("fig7_grslo_error_sweep", |b| {
+        b.iter(|| black_box(fig7(&scale())))
+    });
+    g.bench_function("fig8_gsmix_error_sweep", |b| {
+        b.iter(|| black_box(fig8(&scale())))
+    });
+    g.bench_function("fig9_soft_constraint_ablation", |b| {
+        b.iter(|| black_box(fig9(&scale())))
+    });
+    g.bench_function("fig10_global_ablation", |b| {
+        b.iter(|| black_box(fig10(&scale())))
+    });
+    g.bench_function("fig11_plan_ahead_sweep", |b| {
+        b.iter(|| black_box(fig11(&scale())))
+    });
+    g.bench_function("fig12_latency_cdfs", |b| {
+        b.iter(|| black_box(fig12_cdf(&scale())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Criterion microbenches for the MILP substrate: solver scaling with
+//! plan-ahead window size (the driver of Fig. 12) plus compiler and
+//! partition-refinement costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tetrisched_cluster::{Cluster, NodeSet, PartitionSet};
+use tetrisched_core::{compile, CompileInput};
+use tetrisched_milp::SolverConfig;
+use tetrisched_strl::StrlExpr;
+
+/// Builds the global expression for `jobs` GPU-style jobs with
+/// `starts` candidate start times each on an 80-node cluster.
+fn build_case(jobs: usize, starts: usize) -> (StrlExpr, PartitionSet, usize) {
+    let cluster = Cluster::rc80(2);
+    let gpus = cluster.nodes_with_attr(&tetrisched_cluster::Attr::gpu());
+    let all = cluster.all_nodes();
+    let mut children = Vec::new();
+    for j in 0..jobs {
+        let mut options = Vec::new();
+        for s in 0..starts {
+            let start = (s as u64) * 4;
+            options.push(StrlExpr::nck(
+                gpus.clone(),
+                2 + (j % 3) as u32,
+                start,
+                40,
+                10.0,
+            ));
+            options.push(StrlExpr::nck(
+                all.clone(),
+                2 + (j % 3) as u32,
+                start,
+                60,
+                8.0,
+            ));
+        }
+        children.push(StrlExpr::Max(options));
+    }
+    let expr = StrlExpr::Sum(children);
+    let partitions = PartitionSet::refine(80, &[gpus, all]);
+    (expr, partitions, starts)
+}
+
+fn bench_solver_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver_plan_ahead_scaling");
+    g.sample_size(10);
+    for &starts in &[1usize, 4, 8, 12] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(starts),
+            &starts,
+            |b, &starts| {
+                let (expr, partitions, _) = build_case(8, starts);
+                let input = CompileInput {
+                    expr: &expr,
+                    partitions: &partitions,
+                    now: 0,
+                    quantum: 4,
+                    n_slices: starts + 10,
+                };
+                b.iter(|| {
+                    let compiled = compile(&input, &|s: &NodeSet, _| s.len()).unwrap();
+                    let sol = compiled
+                        .model
+                        .solve(&SolverConfig::online(std::time::Duration::from_millis(300)))
+                        .unwrap();
+                    black_box(sol.objective)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_compile_only(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strl_compile");
+    g.sample_size(20);
+    let (expr, partitions, _) = build_case(16, 8);
+    let input = CompileInput {
+        expr: &expr,
+        partitions: &partitions,
+        now: 0,
+        quantum: 4,
+        n_slices: 18,
+    };
+    g.bench_function("compile_16jobs_8starts", |b| {
+        b.iter(|| {
+            black_box(
+                compile(&input, &|s: &NodeSet, _| s.len())
+                    .unwrap()
+                    .model
+                    .num_vars(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_partition_refinement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition_refinement");
+    g.sample_size(20);
+    let cluster = Cluster::rc256(2);
+    let mut sets = vec![
+        cluster.all_nodes(),
+        cluster.nodes_with_attr(&tetrisched_cluster::Attr::gpu()),
+    ];
+    for r in 0..cluster.num_racks() {
+        sets.push(
+            cluster
+                .rack_nodes(tetrisched_cluster::RackId(r as u32))
+                .clone(),
+        );
+    }
+    g.bench_function("refine_rc256_racks_and_gpu", |b| {
+        b.iter(|| black_box(PartitionSet::refine(256, &sets).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_solver_scaling,
+    bench_compile_only,
+    bench_partition_refinement
+);
+criterion_main!(benches);

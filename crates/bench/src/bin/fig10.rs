@@ -1,0 +1,10 @@
+//! Regenerates Fig. 10 of the paper. Run with `--smoke` for a quick pass.
+
+use tetrisched_bench::figures::{fig10, FigScale};
+use tetrisched_bench::table::{print_figure, slo_panels};
+
+fn main() {
+    let scale = FigScale::from_args();
+    let rows = fig10(&scale);
+    print_figure("Fig. 10", "x: estimate error (%)", &rows, &slo_panels());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 11 (plan-ahead sweep). Run with `--smoke` for a quick
+//! pass.
+
+use tetrisched_bench::figures::{fig11, FigScale};
+use tetrisched_bench::table::{print_figure, slo_panels};
+
+fn main() {
+    let scale = FigScale::from_args();
+    let rows = fig11(&scale);
+    print_figure("Fig. 11", "x: plan-ahead (s)", &rows, &slo_panels());
+}

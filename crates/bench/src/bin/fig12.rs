@@ -1,0 +1,32 @@
+//! Regenerates Fig. 12 (scheduler scalability with plan-ahead): solver and
+//! cycle latencies from the Fig. 11 sweep, plus the latency CDFs of
+//! Fig. 12(c). Run with `--smoke` for a quick pass.
+
+use tetrisched_bench::figures::{fig11, fig12_cdf, FigScale};
+use tetrisched_bench::table::{latency_panels, print_figure};
+
+fn main() {
+    let scale = FigScale::from_args();
+    let rows = fig11(&scale);
+    print_figure(
+        "Fig. 12(a)/(b)",
+        "x: plan-ahead (s)",
+        &rows,
+        &latency_panels(),
+    );
+    println!("== Fig. 12(c): latency CDFs at max plan-ahead ==");
+    for (name, cdf) in fig12_cdf(&scale) {
+        let pts: Vec<String> = [0.5, 0.9, 0.99]
+            .iter()
+            .map(|&q| {
+                let idx = ((cdf.len() as f64 - 1.0) * q).round() as usize;
+                format!(
+                    "p{:.0}={:.1}ms",
+                    q * 100.0,
+                    cdf.get(idx).map_or(0.0, |p| p.0 * 1e3)
+                )
+            })
+            .collect();
+        println!("{name:<24} {}", pts.join("  "));
+    }
+}

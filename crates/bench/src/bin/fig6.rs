@@ -1,0 +1,10 @@
+//! Regenerates Fig. 6 of the paper. Run with `--smoke` for a quick pass.
+
+use tetrisched_bench::figures::{fig6, FigScale};
+use tetrisched_bench::table::{print_figure, slo_panels};
+
+fn main() {
+    let scale = FigScale::from_args();
+    let rows = fig6(&scale);
+    print_figure("Fig. 6", "x: estimate error (%)", &rows, &slo_panels());
+}

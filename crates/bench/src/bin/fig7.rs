@@ -1,0 +1,10 @@
+//! Regenerates Fig. 7 of the paper. Run with `--smoke` for a quick pass.
+
+use tetrisched_bench::figures::{fig7, FigScale};
+use tetrisched_bench::table::{print_figure, slo_panels};
+
+fn main() {
+    let scale = FigScale::from_args();
+    let rows = fig7(&scale);
+    print_figure("Fig. 7", "x: estimate error (%)", &rows, &slo_panels());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 8 of the paper. Run with `--smoke` for a quick pass.
+
+use tetrisched_bench::figures::{fig8, FigScale};
+use tetrisched_bench::table::{print_figure, slo_panels};
+
+fn main() {
+    let scale = FigScale::from_args();
+    let rows = fig8(&scale);
+    print_figure("Fig. 8", "x: estimate error (%)", &rows, &slo_panels());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 9 of the paper. Run with `--smoke` for a quick pass.
+
+use tetrisched_bench::figures::{fig9, FigScale};
+use tetrisched_bench::table::{print_figure, slo_panels};
+
+fn main() {
+    let scale = FigScale::from_args();
+    let rows = fig9(&scale);
+    print_figure("Fig. 9", "x: estimate error (%)", &rows, &slo_panels());
+}

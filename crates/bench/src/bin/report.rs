@@ -1,0 +1,182 @@
+//! Runs the complete evaluation suite (Tables 1–2, Figs. 6–12) and emits a
+//! Markdown report suitable for `EXPERIMENTS.md`.
+//!
+//! Run: `cargo run --release -p tetrisched-bench --bin report [--smoke]`
+
+use std::time::Instant;
+
+use tetrisched_bench::figures::{fig10, fig11, fig12_cdf, fig6, fig7, fig8, fig9, FigScale};
+use tetrisched_bench::table::MetricsRow;
+use tetrisched_workloads::Workload;
+
+fn md_series(rows: &[MetricsRow], x_label: &str, metric: fn(&MetricsRow) -> f64) -> String {
+    let mut schedulers: Vec<String> = Vec::new();
+    let mut xs: Vec<f64> = Vec::new();
+    for r in rows {
+        if !schedulers.contains(&r.scheduler) {
+            schedulers.push(r.scheduler.clone());
+        }
+        if !xs.contains(&r.x) {
+            xs.push(r.x);
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("| {x_label} |"));
+    for x in &xs {
+        out.push_str(&format!(" {x} |"));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in &xs {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for s in &schedulers {
+        out.push_str(&format!("| {s} |"));
+        for x in &xs {
+            match rows.iter().find(|r| &r.scheduler == s && r.x == *x) {
+                Some(r) => out.push_str(&format!(" {:.1} |", metric(r))),
+                None => out.push_str(" - |"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn emit_slo_figure(id: &str, what: &str, rows: &[MetricsRow], x_label: &str) {
+    println!("### {id}: {what}\n");
+    for (panel, f) in [
+        (
+            "SLO attainment, all SLO jobs (%)",
+            (|r: &MetricsRow| r.total_slo) as fn(&MetricsRow) -> f64,
+        ),
+        ("SLO attainment, accepted (%)", |r| r.accepted_slo),
+        ("SLO attainment, w/o reservation (%)", |r| r.nores_slo),
+        ("Best-effort mean latency (s)", |r| r.be_latency),
+    ] {
+        println!("**{panel}**\n");
+        println!("{}", md_series(rows, x_label, f));
+    }
+}
+
+fn main() {
+    let scale = FigScale::from_args();
+    let t0 = Instant::now();
+    println!("## Measured results\n");
+    println!(
+        "Scale: {} jobs/run, seed {}, full clusters: {}\n",
+        scale.num_jobs, scale.seed, scale.full_clusters
+    );
+
+    println!("### Table 1: workload compositions (as generated)\n");
+    println!("| Workload | SLO | BE | Unconstrained | GPU | MPI |");
+    println!("|---|---|---|---|---|---|");
+    for w in [
+        Workload::GrSlo,
+        Workload::GrMix,
+        Workload::GsMix,
+        Workload::GsHet,
+    ] {
+        let c = w.composition();
+        println!(
+            "| {} | {:.0}% | {:.0}% | {:.0}% | {:.0}% | {:.0}% |",
+            w.name(),
+            c.slo * 100.0,
+            c.be * 100.0,
+            c.unconstrained * 100.0,
+            c.gpu * 100.0,
+            c.mpi * 100.0
+        );
+    }
+    println!();
+
+    eprintln!("[{:>6.1}s] fig6...", t0.elapsed().as_secs_f64());
+    let rows = fig6(&scale);
+    emit_slo_figure(
+        "Fig. 6",
+        "GR MIX on RC256 vs estimate error",
+        &rows,
+        "error %",
+    );
+
+    eprintln!("[{:>6.1}s] fig7...", t0.elapsed().as_secs_f64());
+    let rows = fig7(&scale);
+    emit_slo_figure(
+        "Fig. 7",
+        "GR SLO on RC256 vs estimate error",
+        &rows,
+        "error %",
+    );
+
+    eprintln!("[{:>6.1}s] fig8...", t0.elapsed().as_secs_f64());
+    let rows = fig8(&scale);
+    emit_slo_figure(
+        "Fig. 8",
+        "GS MIX on RC80 vs estimate error",
+        &rows,
+        "error %",
+    );
+
+    eprintln!("[{:>6.1}s] fig9...", t0.elapsed().as_secs_f64());
+    let rows = fig9(&scale);
+    emit_slo_figure(
+        "Fig. 9",
+        "GS HET soft-constraint ablation (TetriSched vs -NH vs CS)",
+        &rows,
+        "error %",
+    );
+
+    eprintln!("[{:>6.1}s] fig10...", t0.elapsed().as_secs_f64());
+    let rows = fig10(&scale);
+    emit_slo_figure(
+        "Fig. 10",
+        "GS HET global-scheduling ablation (TetriSched vs -NG vs CS)",
+        &rows,
+        "error %",
+    );
+
+    eprintln!("[{:>6.1}s] fig11/12...", t0.elapsed().as_secs_f64());
+    let rows = fig11(&scale);
+    emit_slo_figure(
+        "Fig. 11",
+        "GS HET vs plan-ahead window",
+        &rows,
+        "plan-ahead s",
+    );
+
+    println!("### Fig. 12(a)/(b): solver and cycle latency vs plan-ahead\n");
+    for (panel, f) in [
+        (
+            "solver latency mean (ms)",
+            (|r: &MetricsRow| r.solver_ms_mean) as fn(&MetricsRow) -> f64,
+        ),
+        ("solver latency p99 (ms)", |r| r.solver_ms_p99),
+        ("cycle latency mean (ms)", |r| r.cycle_ms_mean),
+        ("cycle latency p99 (ms)", |r| r.cycle_ms_p99),
+    ] {
+        println!("**{panel}**\n");
+        println!("{}", md_series(&rows, "plan-ahead s", f));
+    }
+
+    println!("### Fig. 12(c): latency CDF quantiles at max plan-ahead\n");
+    println!("| series | p50 (ms) | p90 (ms) | p99 (ms) |");
+    println!("|---|---|---|---|");
+    for (name, cdf) in fig12_cdf(&scale) {
+        let q = |frac: f64| -> f64 {
+            if cdf.is_empty() {
+                return 0.0;
+            }
+            let idx = ((cdf.len() as f64 - 1.0) * frac).round() as usize;
+            cdf[idx].0 * 1e3
+        };
+        println!(
+            "| {name} | {:.1} | {:.1} | {:.1} |",
+            q(0.5),
+            q(0.9),
+            q(0.99)
+        );
+    }
+
+    eprintln!("[{:>6.1}s] done", t0.elapsed().as_secs_f64());
+}

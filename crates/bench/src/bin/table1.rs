@@ -1,0 +1,7 @@
+//! Prints Tables 1 and 2 and the Fig. 5 value-function constants.
+
+use tetrisched_bench::figures::print_tables;
+
+fn main() {
+    print_tables();
+}

@@ -1,0 +1,181 @@
+//! Result rows and paper-style series printing.
+
+use tetrisched_sim::SimReport;
+
+/// One experiment point: a scheduler at one x-axis value.
+#[derive(Debug, Clone)]
+pub struct MetricsRow {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// X-axis value (estimate error % or plan-ahead seconds).
+    pub x: f64,
+    /// Accepted-SLO attainment, %.
+    pub accepted_slo: f64,
+    /// Total SLO attainment, %.
+    pub total_slo: f64,
+    /// SLO-without-reservation attainment, %.
+    pub nores_slo: f64,
+    /// Mean best-effort latency, seconds.
+    pub be_latency: f64,
+    /// Cluster utilization, fraction.
+    pub utilization: f64,
+    /// Mean scheduler cycle latency, milliseconds.
+    pub cycle_ms_mean: f64,
+    /// 99th-percentile cycle latency, milliseconds.
+    pub cycle_ms_p99: f64,
+    /// Mean MILP solver latency, milliseconds.
+    pub solver_ms_mean: f64,
+    /// 99th-percentile solver latency, milliseconds.
+    pub solver_ms_p99: f64,
+    /// Preemption count.
+    pub preemptions: usize,
+    /// Abandoned jobs.
+    pub abandoned: usize,
+}
+
+impl MetricsRow {
+    /// Builds a row from a finished run.
+    pub fn from_report(scheduler: impl Into<String>, x: f64, report: &SimReport) -> MetricsRow {
+        let m = &report.metrics;
+        MetricsRow {
+            scheduler: scheduler.into(),
+            x,
+            accepted_slo: m.accepted_slo_attainment(),
+            total_slo: m.total_slo_attainment(),
+            nores_slo: m.nores_slo_attainment(),
+            be_latency: m.be_mean_latency(),
+            utilization: m.utilization(),
+            cycle_ms_mean: m.cycle_latency.mean() * 1e3,
+            cycle_ms_p99: m.cycle_latency.quantile(0.99) * 1e3,
+            solver_ms_mean: m.solver_latency.mean() * 1e3,
+            solver_ms_p99: m.solver_latency.quantile(0.99) * 1e3,
+            preemptions: m.preemptions,
+            abandoned: m.abandoned,
+        }
+    }
+}
+
+impl MetricsRow {
+    /// Pointwise average of several replications of the same experiment
+    /// point (same scheduler and x across all rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rows` is empty.
+    pub fn averaged(rows: &[MetricsRow]) -> MetricsRow {
+        assert!(!rows.is_empty(), "cannot average zero rows");
+        let n = rows.len() as f64;
+        let avg = |f: fn(&MetricsRow) -> f64| rows.iter().map(f).sum::<f64>() / n;
+        MetricsRow {
+            scheduler: rows[0].scheduler.clone(),
+            x: rows[0].x,
+            accepted_slo: avg(|r| r.accepted_slo),
+            total_slo: avg(|r| r.total_slo),
+            nores_slo: avg(|r| r.nores_slo),
+            be_latency: avg(|r| r.be_latency),
+            utilization: avg(|r| r.utilization),
+            cycle_ms_mean: avg(|r| r.cycle_ms_mean),
+            cycle_ms_p99: avg(|r| r.cycle_ms_p99),
+            solver_ms_mean: avg(|r| r.solver_ms_mean),
+            solver_ms_p99: avg(|r| r.solver_ms_p99),
+            preemptions: rows.iter().map(|r| r.preemptions).sum::<usize>() / rows.len(),
+            abandoned: rows.iter().map(|r| r.abandoned).sum::<usize>() / rows.len(),
+        }
+    }
+}
+
+/// A named metric extractor: one panel of a figure.
+pub type Panel = (&'static str, fn(&MetricsRow) -> f64);
+
+/// Prints a figure's rows as aligned per-scheduler series, one block per
+/// metric panel — the same layout as the paper's figure panels.
+pub fn print_figure(title: &str, x_label: &str, rows: &[MetricsRow], panels: &[Panel]) {
+    println!("== {title} ==");
+    let mut schedulers: Vec<String> = Vec::new();
+    let mut xs: Vec<f64> = Vec::new();
+    for r in rows {
+        if !schedulers.contains(&r.scheduler) {
+            schedulers.push(r.scheduler.clone());
+        }
+        if !xs.contains(&r.x) {
+            xs.push(r.x);
+        }
+    }
+    for (panel, f) in panels {
+        println!("-- {panel} --");
+        print!("{:<16}", x_label);
+        for x in &xs {
+            print!("{x:>10.1}");
+        }
+        println!();
+        for s in &schedulers {
+            print!("{s:<16}");
+            for x in &xs {
+                match rows.iter().find(|r| &r.scheduler == s && r.x == *x) {
+                    Some(r) => print!("{:>10.1}", f(r)),
+                    None => print!("{:>10}", "-"),
+                }
+            }
+            println!();
+        }
+    }
+    println!();
+}
+
+/// The four standard panels of the estimate-error figures (Figs. 6–10).
+pub fn slo_panels() -> Vec<Panel> {
+    vec![
+        ("SLO attainment, all SLO jobs (%)", |r| r.total_slo),
+        ("SLO attainment, accepted (with reservation) (%)", |r| {
+            r.accepted_slo
+        }),
+        ("SLO attainment, w/o reservation (%)", |r| r.nores_slo),
+        ("Best-effort mean latency (s)", |r| r.be_latency),
+    ]
+}
+
+/// The latency panels of Fig. 12.
+pub fn latency_panels() -> Vec<Panel> {
+    vec![
+        ("solver latency mean (ms)", |r| r.solver_ms_mean),
+        ("solver latency p99 (ms)", |r| r.solver_ms_p99),
+        ("cycle latency mean (ms)", |r| r.cycle_ms_mean),
+        ("cycle latency p99 (ms)", |r| r.cycle_ms_p99),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(s: &str, x: f64, v: f64) -> MetricsRow {
+        MetricsRow {
+            scheduler: s.into(),
+            x,
+            accepted_slo: v,
+            total_slo: v,
+            nores_slo: v,
+            be_latency: v,
+            utilization: 0.5,
+            cycle_ms_mean: 1.0,
+            cycle_ms_p99: 2.0,
+            solver_ms_mean: 0.5,
+            solver_ms_p99: 1.0,
+            preemptions: 0,
+            abandoned: 0,
+        }
+    }
+
+    #[test]
+    fn print_figure_does_not_panic_on_sparse_grid() {
+        let rows = vec![row("a", 0.0, 1.0), row("a", 1.0, 2.0), row("b", 0.0, 3.0)];
+        print_figure("test", "x", &rows, &slo_panels());
+    }
+
+    #[test]
+    fn panels_extract_metrics() {
+        let r = row("a", 0.0, 42.0);
+        assert_eq!(slo_panels()[0].1(&r), 42.0);
+        assert_eq!(latency_panels()[0].1(&r), 0.5);
+    }
+}

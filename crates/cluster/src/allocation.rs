@@ -1,0 +1,261 @@
+//! Space-time allocation ledger.
+//!
+//! The ledger records which nodes each running job holds and when those
+//! nodes are *expected* to free up (from the job's runtime estimate, which
+//! the scheduler may revise as mis-estimates are observed, paper Sec. 7.1).
+//! Plan-ahead (Sec. 2.3.2) queries the ledger for availability at future
+//! time slices: a node busy until `e` is available for any slice `t >= e`.
+
+use std::collections::HashMap;
+
+use crate::nodeset::NodeSet;
+use crate::Time;
+
+/// Opaque handle naming one gang allocation (typically a job id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AllocHandle(pub u64);
+
+/// One live allocation.
+#[derive(Debug, Clone)]
+struct Alloc {
+    nodes: NodeSet,
+    expected_end: Time,
+}
+
+/// Errors from ledger operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LedgerError {
+    /// A requested node is already held by another allocation.
+    NodeBusy(crate::NodeId),
+    /// The handle is already in use.
+    DuplicateHandle(AllocHandle),
+    /// The handle does not name a live allocation.
+    UnknownHandle(AllocHandle),
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LedgerError::NodeBusy(n) => write!(f, "node {n} is already allocated"),
+            LedgerError::DuplicateHandle(h) => write!(f, "allocation handle {h:?} already live"),
+            LedgerError::UnknownHandle(h) => write!(f, "no live allocation {h:?}"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// Tracks current node ownership and expected future availability.
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    num_nodes: usize,
+    free: NodeSet,
+    owner: Vec<Option<AllocHandle>>,
+    allocs: HashMap<AllocHandle, Alloc>,
+}
+
+impl Ledger {
+    /// Creates a ledger for a cluster of `num_nodes` nodes, all free.
+    pub fn new(num_nodes: usize) -> Self {
+        Ledger {
+            num_nodes,
+            free: NodeSet::full(num_nodes),
+            owner: vec![None; num_nodes],
+            allocs: HashMap::new(),
+        }
+    }
+
+    /// Universe size.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The currently free nodes.
+    pub fn free_nodes(&self) -> &NodeSet {
+        &self.free
+    }
+
+    /// Number of currently busy nodes.
+    pub fn busy_count(&self) -> usize {
+        self.num_nodes - self.free.len()
+    }
+
+    /// The handle holding a node, if any.
+    pub fn owner_of(&self, node: crate::NodeId) -> Option<AllocHandle> {
+        self.owner[node.index()]
+    }
+
+    /// Whether a handle names a live allocation.
+    pub fn is_live(&self, handle: AllocHandle) -> bool {
+        self.allocs.contains_key(&handle)
+    }
+
+    /// Nodes held by a live allocation.
+    pub fn nodes_of(&self, handle: AllocHandle) -> Option<&NodeSet> {
+        self.allocs.get(&handle).map(|a| &a.nodes)
+    }
+
+    /// Expected completion time of a live allocation.
+    pub fn expected_end(&self, handle: AllocHandle) -> Option<Time> {
+        self.allocs.get(&handle).map(|a| a.expected_end)
+    }
+
+    /// Grants `nodes` to `handle` until roughly `expected_end`.
+    pub fn allocate(
+        &mut self,
+        handle: AllocHandle,
+        nodes: NodeSet,
+        expected_end: Time,
+    ) -> Result<(), LedgerError> {
+        if self.allocs.contains_key(&handle) {
+            return Err(LedgerError::DuplicateHandle(handle));
+        }
+        for n in nodes.iter() {
+            if self.owner[n.index()].is_some() {
+                return Err(LedgerError::NodeBusy(n));
+            }
+        }
+        for n in nodes.iter() {
+            self.owner[n.index()] = Some(handle);
+            self.free.remove(n);
+        }
+        self.allocs.insert(
+            handle,
+            Alloc {
+                nodes,
+                expected_end,
+            },
+        );
+        Ok(())
+    }
+
+    /// Releases an allocation, returning the freed nodes.
+    pub fn release(&mut self, handle: AllocHandle) -> Result<NodeSet, LedgerError> {
+        let alloc = self
+            .allocs
+            .remove(&handle)
+            .ok_or(LedgerError::UnknownHandle(handle))?;
+        for n in alloc.nodes.iter() {
+            self.owner[n.index()] = None;
+            self.free.insert(n);
+        }
+        Ok(alloc.nodes)
+    }
+
+    /// Revises the expected completion time of a running allocation (used
+    /// when a runtime under-estimate is detected and bumped upward).
+    pub fn set_expected_end(
+        &mut self,
+        handle: AllocHandle,
+        expected_end: Time,
+    ) -> Result<(), LedgerError> {
+        self.allocs
+            .get_mut(&handle)
+            .map(|a| a.expected_end = expected_end)
+            .ok_or(LedgerError::UnknownHandle(handle))
+    }
+
+    /// The subset of `within` expected to be free at time `t`: nodes free
+    /// now, plus busy nodes whose expected end is at or before `t`.
+    pub fn free_at(&self, within: &NodeSet, t: Time) -> NodeSet {
+        let mut out = self.free.and(within);
+        for alloc in self.allocs.values() {
+            if alloc.expected_end <= t {
+                out = out.or(&alloc.nodes.and(within));
+            }
+        }
+        out
+    }
+
+    /// Count of nodes in `within` expected to be free at time `t`.
+    pub fn avail_at(&self, within: &NodeSet, t: Time) -> usize {
+        self.free_at(within, t).len()
+    }
+
+    /// All live allocation handles (unordered).
+    pub fn handles(&self) -> impl Iterator<Item = AllocHandle> + '_ {
+        self.allocs.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    fn set(cap: usize, ids: &[u32]) -> NodeSet {
+        NodeSet::from_ids(cap, ids.iter().map(|&i| NodeId(i)))
+    }
+
+    #[test]
+    fn allocate_and_release_roundtrip() {
+        let mut l = Ledger::new(8);
+        let h = AllocHandle(1);
+        l.allocate(h, set(8, &[0, 1, 2]), 100).unwrap();
+        assert_eq!(l.busy_count(), 3);
+        assert_eq!(l.owner_of(NodeId(1)), Some(h));
+        assert_eq!(l.nodes_of(h).unwrap().len(), 3);
+        let freed = l.release(h).unwrap();
+        assert_eq!(freed.len(), 3);
+        assert_eq!(l.busy_count(), 0);
+        assert_eq!(l.owner_of(NodeId(1)), None);
+    }
+
+    #[test]
+    fn double_allocation_rejected() {
+        let mut l = Ledger::new(8);
+        l.allocate(AllocHandle(1), set(8, &[0, 1]), 10).unwrap();
+        let err = l.allocate(AllocHandle(2), set(8, &[1, 2]), 10).unwrap_err();
+        assert_eq!(err, LedgerError::NodeBusy(NodeId(1)));
+        // The failed allocation must not have taken node 2.
+        assert!(l.free_nodes().contains(NodeId(2)));
+    }
+
+    #[test]
+    fn duplicate_handle_rejected() {
+        let mut l = Ledger::new(8);
+        l.allocate(AllocHandle(1), set(8, &[0]), 10).unwrap();
+        let err = l.allocate(AllocHandle(1), set(8, &[1]), 10).unwrap_err();
+        assert_eq!(err, LedgerError::DuplicateHandle(AllocHandle(1)));
+    }
+
+    #[test]
+    fn unknown_handle_release() {
+        let mut l = Ledger::new(4);
+        assert!(matches!(
+            l.release(AllocHandle(9)),
+            Err(LedgerError::UnknownHandle(_))
+        ));
+    }
+
+    #[test]
+    fn future_availability_honors_expected_end() {
+        let mut l = Ledger::new(4);
+        l.allocate(AllocHandle(1), set(4, &[0, 1]), 50).unwrap();
+        l.allocate(AllocHandle(2), set(4, &[2]), 20).unwrap();
+        let all = NodeSet::full(4);
+        assert_eq!(l.avail_at(&all, 0), 1); // only node 3 free now
+        assert_eq!(l.avail_at(&all, 20), 2); // node 2 frees at 20
+        assert_eq!(l.avail_at(&all, 49), 2);
+        assert_eq!(l.avail_at(&all, 50), 4);
+    }
+
+    #[test]
+    fn bumped_estimate_moves_availability() {
+        let mut l = Ledger::new(2);
+        l.allocate(AllocHandle(1), set(2, &[0]), 10).unwrap();
+        assert_eq!(l.avail_at(&NodeSet::full(2), 10), 2);
+        l.set_expected_end(AllocHandle(1), 30).unwrap();
+        assert_eq!(l.avail_at(&NodeSet::full(2), 10), 1);
+        assert_eq!(l.avail_at(&NodeSet::full(2), 30), 2);
+    }
+
+    #[test]
+    fn free_at_respects_subset() {
+        let mut l = Ledger::new(6);
+        l.allocate(AllocHandle(1), set(6, &[0, 1]), 10).unwrap();
+        let rack = set(6, &[0, 1, 2]);
+        assert_eq!(l.avail_at(&rack, 0), 1);
+        assert_eq!(l.avail_at(&rack, 10), 3);
+    }
+}

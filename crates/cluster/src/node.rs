@@ -1,0 +1,107 @@
+//! Node, rack, and attribute identifiers.
+
+use std::fmt;
+
+/// Identifier of a machine in the cluster, dense in `0..cluster.num_nodes()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index of the node in dense arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+/// Identifier of a rack, dense in `0..cluster.num_racks()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RackId(pub u32);
+
+impl RackId {
+    /// Index of the rack in dense arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rack{}", self.0)
+    }
+}
+
+/// A static node attribute, e.g. "gpu" or "ssd" (paper Sec. 2.2, static
+/// heterogeneity).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Attr(pub String);
+
+impl Attr {
+    /// Creates an attribute from any string-like value.
+    pub fn new(s: impl Into<String>) -> Self {
+        Attr(s.into())
+    }
+
+    /// The common GPU attribute used throughout the paper's examples.
+    pub fn gpu() -> Self {
+        Attr::new("gpu")
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Attr {
+    fn from(s: &str) -> Self {
+        Attr::new(s)
+    }
+}
+
+/// A machine: identity, rack membership, and static attributes.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Dense node id.
+    pub id: NodeId,
+    /// Rack this node lives in.
+    pub rack: RackId,
+    /// Static attributes (sorted for deterministic iteration).
+    pub attrs: Vec<Attr>,
+}
+
+impl Node {
+    /// Whether the node carries the given attribute.
+    pub fn has_attr(&self, attr: &Attr) -> bool {
+        self.attrs.iter().any(|a| a == attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "M3");
+        assert_eq!(RackId(1).to_string(), "rack1");
+        assert_eq!(Attr::gpu().to_string(), "gpu");
+    }
+
+    #[test]
+    fn node_attr_lookup() {
+        let n = Node {
+            id: NodeId(0),
+            rack: RackId(0),
+            attrs: vec![Attr::gpu()],
+        };
+        assert!(n.has_attr(&Attr::gpu()));
+        assert!(!n.has_attr(&Attr::new("ssd")));
+    }
+}

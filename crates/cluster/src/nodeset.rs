@@ -1,0 +1,252 @@
+//! Fixed-capacity bitset of nodes: the representation of equivalence sets.
+//!
+//! Equivalence sets (paper Sec. 4.2) are sets of machines a job values
+//! interchangeably. They are manipulated heavily during partition refinement
+//! and availability queries, so they are stored as bitsets over the dense
+//! node-id space.
+
+use crate::node::NodeId;
+use std::fmt;
+
+/// A set of nodes over a fixed universe of `capacity` node ids.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl NodeSet {
+    /// Creates an empty set over a universe of `capacity` nodes.
+    pub fn empty(capacity: usize) -> Self {
+        NodeSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Creates the full set over a universe of `capacity` nodes.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::empty(capacity);
+        for i in 0..capacity {
+            s.insert(NodeId(i as u32));
+        }
+        s
+    }
+
+    /// Creates a set from an iterator of node ids.
+    pub fn from_ids(capacity: usize, ids: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut s = Self::empty(capacity);
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// Universe size this set was created for.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Adds a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is outside the universe.
+    pub fn insert(&mut self, id: NodeId) {
+        assert!(id.index() < self.capacity, "node id out of universe");
+        self.words[id.index() / 64] |= 1u64 << (id.index() % 64);
+    }
+
+    /// Removes a node.
+    pub fn remove(&mut self, id: NodeId) {
+        if id.index() < self.capacity {
+            self.words[id.index() / 64] &= !(1u64 << (id.index() % 64));
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: NodeId) -> bool {
+        id.index() < self.capacity && self.words[id.index() / 64] & (1u64 << (id.index() % 64)) != 0
+    }
+
+    /// Number of nodes in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Set intersection.
+    pub fn and(&self, other: &NodeSet) -> NodeSet {
+        self.zip_with(other, |a, b| a & b)
+    }
+
+    /// Set union.
+    pub fn or(&self, other: &NodeSet) -> NodeSet {
+        self.zip_with(other, |a, b| a | b)
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn minus(&self, other: &NodeSet) -> NodeSet {
+        self.zip_with(other, |a, b| a & !b)
+    }
+
+    /// Whether `self` is a subset of `other`.
+    pub fn is_subset(&self, other: &NodeSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// Whether the two sets share no nodes.
+    pub fn is_disjoint(&self, other: &NodeSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & b == 0)
+    }
+
+    /// Iterates node ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(NodeId((wi * 64) as u32 + tz))
+                }
+            })
+        })
+    }
+
+    /// Takes up to `k` nodes from the set (lowest ids first); returns fewer
+    /// when the set is smaller than `k`.
+    pub fn take(&self, k: usize) -> Vec<NodeId> {
+        self.iter().take(k).collect()
+    }
+
+    fn zip_with(&self, other: &NodeSet, f: impl Fn(u64, u64) -> u64) -> NodeSet {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "node sets from different universes"
+        );
+        NodeSet {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl fmt::Display for NodeSet {
+    /// Formats as `{M0, M3, M5}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, id) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{id}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    /// Builds a set sized to the largest id seen. Prefer
+    /// [`NodeSet::from_ids`] when the universe size is known.
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let ids: Vec<NodeId> = iter.into_iter().collect();
+        let cap = ids.iter().map(|i| i.index() + 1).max().unwrap_or(0);
+        NodeSet::from_ids(cap, ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = NodeSet::empty(100);
+        s.insert(NodeId(5));
+        s.insert(NodeId(64));
+        assert!(s.contains(NodeId(5)));
+        assert!(s.contains(NodeId(64)));
+        assert!(!s.contains(NodeId(6)));
+        assert_eq!(s.len(), 2);
+        s.remove(NodeId(5));
+        assert!(!s.contains(NodeId(5)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = NodeSet::from_ids(10, ids(&[1, 2, 3]));
+        let b = NodeSet::from_ids(10, ids(&[2, 3, 4]));
+        assert_eq!(a.and(&b).take(10), ids(&[2, 3]));
+        assert_eq!(a.or(&b).take(10), ids(&[1, 2, 3, 4]));
+        assert_eq!(a.minus(&b).take(10), ids(&[1]));
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = NodeSet::from_ids(10, ids(&[1, 2]));
+        let b = NodeSet::from_ids(10, ids(&[1, 2, 3]));
+        let c = NodeSet::from_ids(10, ids(&[4, 5]));
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn full_and_iter_order() {
+        let s = NodeSet::full(130);
+        assert_eq!(s.len(), 130);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v[0], NodeId(0));
+        assert_eq!(v[129], NodeId(129));
+    }
+
+    #[test]
+    fn take_limits() {
+        let s = NodeSet::from_ids(10, ids(&[7, 8, 9]));
+        assert_eq!(s.take(2), ids(&[7, 8]));
+        assert_eq!(s.take(5), ids(&[7, 8, 9]));
+    }
+
+    #[test]
+    fn display_format() {
+        let s = NodeSet::from_ids(10, ids(&[0, 3]));
+        assert_eq!(format!("{s}"), "{M0, M3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn insert_out_of_universe_panics() {
+        let mut s = NodeSet::empty(4);
+        s.insert(NodeId(4));
+    }
+}

@@ -1,0 +1,162 @@
+//! Equivalence-set partition refinement.
+//!
+//! Given the equivalence sets referenced by a batch of pending jobs, compute
+//! the coarsest partition of the cluster such that every referenced set is
+//! an exact union of partition classes. The STRL compiler then creates one
+//! integer "partition variable" per class per time slice instead of
+//! per-node variables — the paper's most important MILP-size optimization
+//! (Sec. 7.3, "dynamically partitioning cluster resources at the beginning
+//! of each cycle to minimize the number of partition variables").
+
+use crate::nodeset::NodeSet;
+
+/// A partition of the node universe into disjoint classes.
+#[derive(Debug, Clone)]
+pub struct PartitionSet {
+    classes: Vec<NodeSet>,
+}
+
+impl PartitionSet {
+    /// Refines the universe against the given equivalence sets.
+    ///
+    /// Starts from the single class of all nodes and repeatedly splits
+    /// classes at each set's boundary. Classes that end up empty are
+    /// dropped. The result is the coarsest partition in which every input
+    /// set is a union of classes.
+    pub fn refine(universe: usize, sets: &[NodeSet]) -> PartitionSet {
+        let mut classes = vec![NodeSet::full(universe)];
+        for s in sets {
+            let mut next = Vec::with_capacity(classes.len() + 1);
+            for c in classes {
+                let inside = c.and(s);
+                let outside = c.minus(s);
+                if !inside.is_empty() {
+                    next.push(inside);
+                }
+                if !outside.is_empty() {
+                    next.push(outside);
+                }
+            }
+            classes = next;
+        }
+        PartitionSet { classes }
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the partition has no classes (empty universe).
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// The classes, each a disjoint node set.
+    pub fn classes(&self) -> &[NodeSet] {
+        &self.classes
+    }
+
+    /// One class by index.
+    pub fn class(&self, ix: usize) -> &NodeSet {
+        &self.classes[ix]
+    }
+
+    /// Indices of the classes whose union is exactly `set`.
+    ///
+    /// Every class is either contained in `set` or disjoint from it as long
+    /// as `set` was among (or is a union of) the sets used for refinement;
+    /// classes partially overlapping are reported via `Err` with the
+    /// offending class index.
+    pub fn cover(&self, set: &NodeSet) -> Result<Vec<usize>, usize> {
+        let mut out = Vec::new();
+        for (i, c) in self.classes.iter().enumerate() {
+            if c.is_subset(set) {
+                out.push(i);
+            } else if !c.is_disjoint(set) {
+                return Err(i);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    fn set(cap: usize, ids: &[u32]) -> NodeSet {
+        NodeSet::from_ids(cap, ids.iter().map(|&i| NodeId(i)))
+    }
+
+    #[test]
+    fn no_sets_gives_single_class() {
+        let p = PartitionSet::refine(8, &[]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.class(0).len(), 8);
+    }
+
+    #[test]
+    fn single_set_splits_in_two() {
+        let gpus = set(8, &[0, 1, 2]);
+        let p = PartitionSet::refine(8, std::slice::from_ref(&gpus));
+        assert_eq!(p.len(), 2);
+        let cover = p.cover(&gpus).unwrap();
+        assert_eq!(cover.len(), 1);
+        assert_eq!(p.class(cover[0]), &gpus);
+    }
+
+    #[test]
+    fn overlapping_sets_refine_to_atoms() {
+        // {0,1,2,3} and {2,3,4,5} over 8 nodes -> classes
+        // {0,1}, {2,3}, {4,5}, {6,7}.
+        let a = set(8, &[0, 1, 2, 3]);
+        let b = set(8, &[2, 3, 4, 5]);
+        let p = PartitionSet::refine(8, &[a.clone(), b.clone()]);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.cover(&a).unwrap().len(), 2);
+        assert_eq!(p.cover(&b).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn identical_sets_do_not_oversplit() {
+        let a = set(8, &[0, 1]);
+        let p = PartitionSet::refine(8, &[a.clone(), a.clone(), a.clone()]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn cover_detects_non_aligned_set() {
+        let a = set(8, &[0, 1, 2, 3]);
+        let p = PartitionSet::refine(8, &[a]);
+        // {3, 4} straddles the class boundary.
+        assert!(p.cover(&set(8, &[3, 4])).is_err());
+    }
+
+    #[test]
+    fn classes_are_disjoint_and_exhaustive() {
+        let sets = [
+            set(16, &[0, 1, 2, 3, 4]),
+            set(16, &[4, 5, 6]),
+            set(16, &[10, 11, 12, 13]),
+            set(16, &[0, 15]),
+        ];
+        let p = PartitionSet::refine(16, &sets);
+        let mut seen = NodeSet::empty(16);
+        for c in p.classes() {
+            assert!(!c.is_empty());
+            assert!(seen.is_disjoint(c));
+            seen = seen.or(c);
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn full_set_is_union_of_all_classes() {
+        let sets = [set(8, &[1, 2]), set(8, &[5])];
+        let p = PartitionSet::refine(8, &sets);
+        let cover = p.cover(&NodeSet::full(8)).unwrap();
+        assert_eq!(cover.len(), p.len());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the cluster substrate: bitset algebra, partition
+//! refinement laws, and allocation-ledger conservation.
+
+use proptest::prelude::*;
+use tetrisched_cluster::{AllocHandle, Ledger, NodeId, NodeSet, PartitionSet};
+
+const UNIVERSE: usize = 48;
+
+fn arb_set() -> impl Strategy<Value = NodeSet> {
+    proptest::collection::btree_set(0u32..UNIVERSE as u32, 0..UNIVERSE)
+        .prop_map(|ids| NodeSet::from_ids(UNIVERSE, ids.into_iter().map(NodeId)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn set_algebra_laws(a in arb_set(), b in arb_set()) {
+        // |A| + |B| = |A ∪ B| + |A ∩ B|.
+        prop_assert_eq!(a.len() + b.len(), a.or(&b).len() + a.and(&b).len());
+        // A \ B is disjoint from B and unions back to A ∪ B.
+        let diff = a.minus(&b);
+        prop_assert!(diff.is_disjoint(&b));
+        prop_assert_eq!(diff.or(&b.and(&a)).len(), a.len());
+        // Subset laws.
+        prop_assert!(a.and(&b).is_subset(&a));
+        prop_assert!(a.is_subset(&a.or(&b)));
+    }
+
+    #[test]
+    fn refinement_laws(sets in proptest::collection::vec(arb_set(), 0..6)) {
+        let p = PartitionSet::refine(UNIVERSE, &sets);
+        // Classes are nonempty, disjoint, and exhaustive.
+        let mut seen = NodeSet::empty(UNIVERSE);
+        for c in p.classes() {
+            prop_assert!(!c.is_empty());
+            prop_assert!(seen.is_disjoint(c));
+            seen = seen.or(c);
+        }
+        prop_assert_eq!(seen.len(), UNIVERSE);
+        // Every input set is an exact union of classes.
+        for s in &sets {
+            let cover = p.cover(s).expect("refined set must be covered");
+            let mut union = NodeSet::empty(UNIVERSE);
+            for ix in cover {
+                union = union.or(p.class(ix));
+            }
+            prop_assert_eq!(&union, s);
+        }
+        // Refinement is idempotent: refining again with class sets keeps
+        // the class count.
+        let again = PartitionSet::refine(
+            UNIVERSE,
+            p.classes(),
+        );
+        prop_assert_eq!(again.len(), p.len());
+    }
+
+    #[test]
+    fn ledger_conserves_nodes(
+        allocs in proptest::collection::vec(
+            (proptest::collection::btree_set(0u32..UNIVERSE as u32, 1..8), 1u64..100),
+            1..12,
+        ),
+    ) {
+        let mut ledger = Ledger::new(UNIVERSE);
+        let mut live: Vec<AllocHandle> = Vec::new();
+        for (i, (ids, end)) in allocs.iter().enumerate() {
+            let set = NodeSet::from_ids(UNIVERSE, ids.iter().map(|&x| NodeId(x)));
+            let handle = AllocHandle(i as u64);
+            let free_before = ledger.free_nodes().len();
+            match ledger.allocate(handle, set.clone(), *end) {
+                Ok(()) => {
+                    live.push(handle);
+                    prop_assert_eq!(ledger.free_nodes().len(), free_before - set.len());
+                }
+                Err(_) => {
+                    // Failed allocations must not change state.
+                    prop_assert_eq!(ledger.free_nodes().len(), free_before);
+                }
+            }
+            // Conservation: free + busy == universe.
+            prop_assert_eq!(ledger.free_nodes().len() + ledger.busy_count(), UNIVERSE);
+        }
+        // Availability is monotone in time.
+        let all = NodeSet::full(UNIVERSE);
+        let mut prev = 0;
+        for t in (0..120).step_by(10) {
+            let avail = ledger.avail_at(&all, t);
+            prop_assert!(avail >= prev, "availability shrank over time");
+            prev = avail;
+        }
+        // Releasing everything frees the universe.
+        for h in live {
+            ledger.release(h).expect("release live handle");
+        }
+        prop_assert_eq!(ledger.free_nodes().len(), UNIVERSE);
+    }
+}

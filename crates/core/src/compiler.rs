@@ -1,0 +1,719 @@
+//! STRL → MILP compilation (Algorithm 1 of the paper).
+//!
+//! The compiler walks a STRL expression tree with a single recursive
+//! function `gen(expr, I)` where `I` is the binary *indicator variable*
+//! stating whether the solver assigns resources to that subexpression. Three
+//! ideas from the paper shape the output:
+//!
+//! 1. **indicator variables** per subexpression, with `max` constraining the
+//!    sum of child indicators to at most its own (`or` semantics) and `sum`
+//!    to at most `n` of them,
+//! 2. the recursion **returns the objective expression** of the subtree; at
+//!    the root it becomes the MILP objective, and inside `min`/`barrier`
+//!    nodes it feeds constraints implementing `and`/threshold semantics,
+//! 3. **equivalence sets** become integer *partition variables*: a leaf
+//!    creates one `P_x` per partition class it draws from, demand
+//!    constraints tie `sum(P_x) = k * I`, and per-(class, time-slice)
+//!    supply constraints cap total use at expected availability.
+//!
+//! Time is discretized into `quantum`-sized slices across the plan-ahead
+//! window; a leaf occupies every slice its `[start, start+dur)` interval
+//! intersects.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use tetrisched_cluster::{NodeSet, PartitionSet, Time};
+use tetrisched_milp::{LinExpr, Model, Sense, Solution, VarId, VarKind};
+use tetrisched_strl::StrlExpr;
+
+/// Compilation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// A leaf's equivalence set is not a union of partition classes; the
+    /// partition set must be refined against every leaf set.
+    UnalignedSet {
+        /// Offending partition class index.
+        class: usize,
+    },
+    /// A leaf starts before `now`.
+    StartInPast {
+        /// The leaf's start time.
+        start: Time,
+        /// The compile-time `now`.
+        now: Time,
+    },
+    /// A leaf starts beyond the plan-ahead window.
+    StartBeyondWindow {
+        /// The leaf's start time.
+        start: Time,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnalignedSet { class } => {
+                write!(f, "leaf set not aligned with partition class {class}")
+            }
+            CompileError::StartInPast { start, now } => {
+                write!(f, "leaf start {start} is before now {now}")
+            }
+            CompileError::StartBeyondWindow { start } => {
+                write!(f, "leaf start {start} is beyond the plan-ahead window")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compilation parameters.
+#[derive(Debug)]
+pub struct CompileInput<'a> {
+    /// The (usually aggregated) STRL expression.
+    pub expr: &'a StrlExpr,
+    /// Partition classes refined against every leaf equivalence set.
+    pub partitions: &'a PartitionSet,
+    /// Current time; all leaf starts must be `>= now`.
+    pub now: Time,
+    /// Time-slice width in seconds.
+    pub quantum: u64,
+    /// Number of slices in the plan-ahead window (>= 1).
+    pub n_slices: usize,
+}
+
+/// Metadata for one compiled leaf, in depth-first order of the input
+/// expression (callers rely on this order to map leaves back to jobs).
+#[derive(Debug, Clone)]
+pub struct LeafInfo {
+    /// Leaf start time (absolute).
+    pub start: Time,
+    /// Leaf duration.
+    pub dur: u64,
+    /// Requested resource count.
+    pub k: u32,
+    /// Whether this is a linear (`LnCk`) leaf.
+    pub linear: bool,
+    /// The leaf's indicator variable.
+    pub indicator: VarId,
+    /// Partition variables `(class index, var)` created for the leaf.
+    pub partition_vars: Vec<(usize, VarId)>,
+    /// Indicator chain from the root (exclusive) to the leaf's parent that
+    /// must be set for the leaf to be active (used for warm starts).
+    pub ancestors: Vec<VarId>,
+}
+
+/// One satisfied leaf extracted from a solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChosenAlloc {
+    /// Index into [`CompiledModel::leaves`].
+    pub leaf: usize,
+    /// Node counts drawn from each partition class.
+    pub counts: Vec<(usize, u32)>,
+}
+
+/// The result of compilation: a MILP model plus the bookkeeping needed to
+/// interpret its solutions.
+#[derive(Debug)]
+pub struct CompiledModel {
+    /// The MILP to maximize.
+    pub model: Model,
+    /// Leaf metadata in depth-first input order.
+    pub leaves: Vec<LeafInfo>,
+    /// The root indicator (fixed to 1).
+    pub root_indicator: VarId,
+}
+
+impl CompiledModel {
+    /// Extracts the satisfied leaves and their per-class node counts.
+    pub fn chosen(&self, sol: &Solution) -> Vec<ChosenAlloc> {
+        let mut out = Vec::new();
+        for (ix, leaf) in self.leaves.iter().enumerate() {
+            if !sol.is_set(leaf.indicator) {
+                continue;
+            }
+            let counts: Vec<(usize, u32)> = leaf
+                .partition_vars
+                .iter()
+                .map(|&(class, v)| (class, sol.int_value(v).max(0) as u32))
+                .filter(|&(_, c)| c > 0)
+                .collect();
+            let total: u32 = counts.iter().map(|&(_, c)| c).sum();
+            if leaf.linear && total == 0 {
+                continue; // A satisfied linear leaf with nothing allocated.
+            }
+            out.push(ChosenAlloc { leaf: ix, counts });
+        }
+        out
+    }
+
+    /// Builds a candidate assignment activating the given leaf choices
+    /// (with explicit per-class counts), for seeding the solver with the
+    /// previous cycle's schedule. The result is *not* guaranteed feasible;
+    /// the solver validates and silently discards bad warm starts.
+    pub fn warm_vector(&self, picks: &[(usize, Vec<(usize, u32)>)]) -> Vec<f64> {
+        let mut v = vec![0.0; self.model.num_vars()];
+        v[self.root_indicator.index()] = 1.0;
+        for (leaf_ix, counts) in picks {
+            let Some(leaf) = self.leaves.get(*leaf_ix) else {
+                continue;
+            };
+            v[leaf.indicator.index()] = 1.0;
+            for a in &leaf.ancestors {
+                v[a.index()] = 1.0;
+            }
+            for (class, count) in counts {
+                if let Some(&(_, var)) = leaf.partition_vars.iter().find(|(c, _)| c == class) {
+                    v[var.index()] = *count as f64;
+                }
+            }
+        }
+        v
+    }
+}
+
+/// Compiles a STRL expression into a MILP (Algorithm 1).
+///
+/// `avail` reports how many nodes of a partition class are expected free at
+/// an absolute time (plan-ahead's view of the ledger).
+pub fn compile(
+    input: &CompileInput<'_>,
+    avail: &dyn Fn(&NodeSet, Time) -> usize,
+) -> Result<CompiledModel, CompileError> {
+    let mut ctx = GenCtx {
+        model: Model::maximize(),
+        used: HashMap::new(),
+        leaves: Vec::new(),
+        stack: Vec::new(),
+        partitions: input.partitions,
+        now: input.now,
+        quantum: input.quantum.max(1),
+        n_slices: input.n_slices.max(1),
+    };
+
+    // genAndSolve: a free binary root indicator. It must stay free (not
+    // pinned to 1) so that unsatisfiable subtrees — a `min` with a dead leg,
+    // a `barrier` whose threshold is unreachable — can settle at zero value
+    // instead of making the whole model infeasible; maximization turns it
+    // on whenever any value is obtainable.
+    let root = ctx.model.add_var("I_root", VarKind::Binary, 0.0, 1.0, 0.0);
+    let objective = ctx.gen(input.expr, root)?;
+    ctx.model.add_objective_expr(&objective);
+
+    // Supply constraints: per class per slice, usage <= expected free.
+    let mut keys: Vec<(usize, usize)> = ctx.used.keys().copied().collect();
+    keys.sort_unstable();
+    for (class, slice) in keys {
+        let vars = &ctx.used[&(class, slice)];
+        let t = input.now + slice as u64 * ctx.quantum;
+        let cap = avail(input.partitions.class(class), t);
+        ctx.model.add_constraint(
+            format!("supply_c{class}_s{slice}"),
+            vars.iter().map(|&v| (v, 1.0)),
+            Sense::Le,
+            cap as f64,
+        );
+    }
+
+    Ok(CompiledModel {
+        model: ctx.model,
+        leaves: ctx.leaves,
+        root_indicator: root,
+    })
+}
+
+struct GenCtx<'a> {
+    model: Model,
+    /// (class, slice) -> partition variables using that capacity.
+    used: HashMap<(usize, usize), Vec<VarId>>,
+    leaves: Vec<LeafInfo>,
+    /// Indicator chain from the root to the current node.
+    stack: Vec<VarId>,
+    partitions: &'a PartitionSet,
+    now: Time,
+    quantum: u64,
+    n_slices: usize,
+}
+
+impl GenCtx<'_> {
+    /// Algorithm 1's `gen(expr, I)`: returns the subtree's objective.
+    fn gen(&mut self, expr: &StrlExpr, indicator: VarId) -> Result<LinExpr, CompileError> {
+        match expr {
+            StrlExpr::NCk {
+                set,
+                k,
+                start,
+                dur,
+                value,
+            } => self.gen_leaf(set, *k, *start, *dur, *value, indicator, false),
+            StrlExpr::LnCk {
+                set,
+                k,
+                start,
+                dur,
+                value,
+            } => self.gen_leaf(set, *k, *start, *dur, *value, indicator, true),
+            StrlExpr::Max(children) => {
+                let mut objective = LinExpr::new();
+                let mut child_terms = Vec::with_capacity(children.len() + 1);
+                for (i, child) in children.iter().enumerate() {
+                    let ci =
+                        self.model
+                            .add_var(format!("I_max{i}"), VarKind::Binary, 0.0, 1.0, 0.0);
+                    child_terms.push((ci, 1.0));
+                    self.stack.push(indicator);
+                    let f = self.gen(child, ci)?;
+                    self.stack.pop();
+                    objective.add_expr(&f);
+                }
+                // At most one child is chosen (and none when I = 0).
+                child_terms.push((indicator, -1.0));
+                self.model
+                    .add_constraint("max_choice", child_terms, Sense::Le, 0.0);
+                Ok(objective)
+            }
+            StrlExpr::Sum(children) => {
+                let mut objective = LinExpr::new();
+                let mut child_terms = Vec::with_capacity(children.len() + 1);
+                for (i, child) in children.iter().enumerate() {
+                    let ci =
+                        self.model
+                            .add_var(format!("I_sum{i}"), VarKind::Binary, 0.0, 1.0, 0.0);
+                    child_terms.push((ci, 1.0));
+                    self.stack.push(indicator);
+                    let f = self.gen(child, ci)?;
+                    self.stack.pop();
+                    objective.add_expr(&f);
+                }
+                let n = children.len() as f64;
+                child_terms.push((indicator, -n));
+                self.model
+                    .add_constraint("sum_gate", child_terms, Sense::Le, 0.0);
+                Ok(objective)
+            }
+            StrlExpr::Min(children) => {
+                if children.is_empty() {
+                    // A vacuous `min` carries no value (and an unbounded V
+                    // variable would make the model unbounded).
+                    return Ok(LinExpr::new());
+                }
+                // V represents the minimum child objective; maximization
+                // pushes it up to the true minimum.
+                let v = self
+                    .model
+                    .add_var("V_min", VarKind::Continuous, 0.0, f64::INFINITY, 0.0);
+                for child in children {
+                    // Children share the parent's indicator (Algorithm 1).
+                    let f = self.gen(child, indicator)?;
+                    // V <= f  =>  V - f <= f.constant .. move constant right.
+                    let mut terms = vec![(v, 1.0)];
+                    for &(var, c) in &f.compact().terms {
+                        terms.push((var, -c));
+                    }
+                    self.model
+                        .add_constraint("min_bound", terms, Sense::Le, f.constant);
+                }
+                Ok(LinExpr::term(v, 1.0))
+            }
+            StrlExpr::Scale { factor, child } => Ok(self.gen(child, indicator)?.scaled(*factor)),
+            StrlExpr::Barrier { value, child } => {
+                let f = self.gen(child, indicator)?;
+                // v * I <= f.
+                let mut terms = vec![(indicator, *value)];
+                for &(var, c) in &f.compact().terms {
+                    terms.push((var, -c));
+                }
+                self.model
+                    .add_constraint("barrier", terms, Sense::Le, f.constant);
+                Ok(LinExpr::term(indicator, *value))
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gen_leaf(
+        &mut self,
+        set: &NodeSet,
+        k: u32,
+        start: Time,
+        dur: u64,
+        value: f64,
+        indicator: VarId,
+        linear: bool,
+    ) -> Result<LinExpr, CompileError> {
+        if start < self.now {
+            return Err(CompileError::StartInPast {
+                start,
+                now: self.now,
+            });
+        }
+        let rel = start - self.now;
+        let first_slice = (rel / self.quantum) as usize;
+        if first_slice >= self.n_slices {
+            return Err(CompileError::StartBeyondWindow { start });
+        }
+        let last_slice = ((rel + dur).div_ceil(self.quantum) as usize).min(self.n_slices);
+
+        let classes = self
+            .partitions
+            .cover(set)
+            .map_err(|class| CompileError::UnalignedSet { class })?;
+        let mut partition_vars = Vec::with_capacity(classes.len());
+        let mut demand_terms = Vec::with_capacity(classes.len() + 1);
+        for class in classes {
+            let cap = self.partitions.class(class).len().min(k as usize) as f64;
+            let p = self.model.add_var(
+                format!("P_c{class}_t{start}"),
+                VarKind::Integer,
+                0.0,
+                cap,
+                0.0,
+            );
+            partition_vars.push((class, p));
+            demand_terms.push((p, 1.0));
+            for slice in first_slice..last_slice {
+                self.used.entry((class, slice)).or_default().push(p);
+            }
+        }
+
+        let objective = if linear {
+            // sum(P) <= k * I; objective v/k per node obtained.
+            let mut terms = demand_terms.clone();
+            terms.push((indicator, -(k as f64)));
+            self.model
+                .add_constraint("lnck_demand", terms, Sense::Le, 0.0);
+            let mut obj = LinExpr::new();
+            for &(p, _) in &demand_terms {
+                obj.add_term(p, value / k as f64);
+            }
+            obj
+        } else {
+            // sum(P) = k * I; objective v when chosen.
+            let mut terms = demand_terms;
+            terms.push((indicator, -(k as f64)));
+            self.model
+                .add_constraint("nck_demand", terms, Sense::Eq, 0.0);
+            LinExpr::term(indicator, value)
+        };
+
+        self.leaves.push(LeafInfo {
+            start,
+            dur,
+            k,
+            linear,
+            indicator,
+            partition_vars,
+            ancestors: self.stack.clone(),
+        });
+        Ok(objective)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetrisched_cluster::{NodeId, PartitionSet};
+    use tetrisched_milp::SolverConfig;
+
+    fn set(cap: usize, ids: &[u32]) -> NodeSet {
+        NodeSet::from_ids(cap, ids.iter().map(|&i| NodeId(i)))
+    }
+
+    /// Compiles and solves exactly, with constant availability.
+    fn solve(
+        expr: &StrlExpr,
+        partitions: &PartitionSet,
+        quantum: u64,
+        n_slices: usize,
+        cap: usize,
+    ) -> (CompiledModel, Solution) {
+        let input = CompileInput {
+            expr,
+            partitions,
+            now: 0,
+            quantum,
+            n_slices,
+        };
+        let compiled = compile(&input, &move |_, _| cap).expect("compile");
+        let sol = compiled.model.solve(&SolverConfig::exact()).expect("solve");
+        (compiled, sol)
+    }
+
+    /// The paper's Sec. 5.1 example: three jobs, three machines, 10s
+    /// quantum. The only schedule meeting all deadlines is job 1 at t=0,
+    /// job 3 at t=10, job 2 at t=20 (Fig. 4).
+    #[test]
+    fn sec51_milp_example_reproduces_fig4() {
+        let all = set(3, &[0, 1, 2]);
+        let job1 = StrlExpr::nck(all.clone(), 2, 0, 10, 1.0);
+        let job2 = StrlExpr::max([
+            StrlExpr::nck(all.clone(), 1, 0, 20, 1.0),
+            StrlExpr::nck(all.clone(), 1, 10, 20, 1.0),
+            StrlExpr::nck(all.clone(), 1, 20, 20, 1.0),
+        ]);
+        let job3 = StrlExpr::max([
+            StrlExpr::nck(all.clone(), 3, 0, 10, 1.0),
+            StrlExpr::nck(all.clone(), 3, 10, 10, 1.0),
+        ]);
+        let expr = StrlExpr::sum([job1, job2, job3]);
+        let partitions = PartitionSet::refine(3, &[all]);
+        let (compiled, sol) = solve(&expr, &partitions, 10, 4, 3);
+
+        assert!(
+            (sol.objective - 3.0).abs() < 1e-6,
+            "all three jobs scheduled"
+        );
+        let chosen = compiled.chosen(&sol);
+        assert_eq!(chosen.len(), 3);
+        // Leaf DFS order: job1@0; job2@{0,10,20}; job3@{0,10}.
+        let starts: Vec<Time> = chosen
+            .iter()
+            .map(|c| compiled.leaves[c.leaf].start)
+            .collect();
+        assert_eq!(starts, vec![0, 20, 10], "job1@0, job2@20, job3@10");
+    }
+
+    #[test]
+    fn gpu_soft_constraint_prefers_fast_option() {
+        // Fig. 3: GPU option (v=4) vs anywhere (v=3); GPUs free => fast.
+        let gpus = set(4, &[0, 1]);
+        let all = set(4, &[0, 1, 2, 3]);
+        let expr = StrlExpr::max([
+            StrlExpr::nck(gpus.clone(), 2, 0, 2, 4.0),
+            StrlExpr::nck(all.clone(), 2, 0, 3, 3.0),
+        ]);
+        let partitions = PartitionSet::refine(4, &[gpus, all]);
+        let (compiled, sol) = solve(&expr, &partitions, 1, 5, 4);
+        assert!((sol.objective - 4.0).abs() < 1e-6);
+        let chosen = compiled.chosen(&sol);
+        assert_eq!(chosen.len(), 1);
+        assert_eq!(compiled.leaves[chosen[0].leaf].dur, 2);
+    }
+
+    #[test]
+    fn gpu_soft_constraint_falls_back_when_gpus_busy() {
+        let gpus = set(4, &[0, 1]);
+        let all = set(4, &[0, 1, 2, 3]);
+        let expr = StrlExpr::max([
+            StrlExpr::nck(gpus.clone(), 2, 0, 2, 4.0),
+            StrlExpr::nck(all.clone(), 2, 0, 3, 3.0),
+        ]);
+        let partitions = PartitionSet::refine(4, &[gpus.clone(), all]);
+        // GPUs (class containing nodes 0,1) are busy: avail 0 there.
+        let input = CompileInput {
+            expr: &expr,
+            partitions: &partitions,
+            now: 0,
+            quantum: 1,
+            n_slices: 5,
+        };
+        let gpus_for_avail = gpus.clone();
+        let compiled = compile(&input, &move |class: &NodeSet, _| {
+            if class.is_subset(&gpus_for_avail) {
+                0
+            } else {
+                class.len()
+            }
+        })
+        .unwrap();
+        let sol = compiled.model.solve(&SolverConfig::exact()).unwrap();
+        assert!((sol.objective - 3.0).abs() < 1e-6, "fallback option chosen");
+        let chosen = compiled.chosen(&sol);
+        // The fallback drew its 2 nodes from the non-GPU class only.
+        for (class, count) in &chosen[0].counts {
+            assert!(partitions.class(*class).is_disjoint(&gpus) || *count == 0);
+        }
+    }
+
+    #[test]
+    fn min_expresses_anti_affinity() {
+        // Fig. 1's Availability job: one node on each rack.
+        let rack1 = set(4, &[0, 1]);
+        let rack2 = set(4, &[2, 3]);
+        let expr = StrlExpr::min([
+            StrlExpr::nck(rack1.clone(), 1, 0, 3, 2.0),
+            StrlExpr::nck(rack2.clone(), 1, 0, 3, 2.0),
+        ]);
+        let partitions = PartitionSet::refine(4, &[rack1.clone(), rack2.clone()]);
+        let (compiled, sol) = solve(&expr, &partitions, 1, 3, 2);
+        assert!((sol.objective - 2.0).abs() < 1e-6);
+        let chosen = compiled.chosen(&sol);
+        assert_eq!(chosen.len(), 2, "both rack legs satisfied");
+        let total: u32 = chosen
+            .iter()
+            .flat_map(|c| c.counts.iter().map(|&(_, n)| n))
+            .sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn min_unsatisfiable_leg_yields_zero() {
+        let rack1 = set(4, &[0, 1]);
+        let rack2 = set(4, &[2, 3]);
+        let expr = StrlExpr::min([
+            StrlExpr::nck(rack1.clone(), 1, 0, 3, 2.0),
+            StrlExpr::nck(rack2.clone(), 1, 0, 3, 2.0),
+        ]);
+        let partitions = PartitionSet::refine(4, &[rack1.clone(), rack2.clone()]);
+        let input = CompileInput {
+            expr: &expr,
+            partitions: &partitions,
+            now: 0,
+            quantum: 1,
+            n_slices: 3,
+        };
+        // Rack 2 has no availability.
+        let compiled = compile(&input, &move |class: &NodeSet, _| {
+            if class.is_subset(&rack2) {
+                0
+            } else {
+                class.len()
+            }
+        })
+        .unwrap();
+        let sol = compiled.model.solve(&SolverConfig::exact()).unwrap();
+        assert!(sol.objective.abs() < 1e-6, "min collapses to zero value");
+    }
+
+    #[test]
+    fn supply_constraints_prevent_overcommit() {
+        // Two jobs each wanting 2 of 3 machines at t=0: only one fits.
+        let all = set(3, &[0, 1, 2]);
+        let expr = StrlExpr::sum([
+            StrlExpr::nck(all.clone(), 2, 0, 10, 1.0),
+            StrlExpr::nck(all.clone(), 2, 0, 10, 1.0),
+        ]);
+        let partitions = PartitionSet::refine(3, &[all]);
+        let (compiled, sol) = solve(&expr, &partitions, 10, 1, 3);
+        assert!((sol.objective - 1.0).abs() < 1e-6);
+        assert_eq!(compiled.chosen(&sol).len(), 1);
+    }
+
+    #[test]
+    fn linear_leaf_takes_partial_allocation() {
+        // LnCk over 3 machines asking for up to 4, value 4 (1 per node).
+        let all = set(3, &[0, 1, 2]);
+        let expr = StrlExpr::lnck(all.clone(), 4, 0, 10, 4.0);
+        let partitions = PartitionSet::refine(3, &[all]);
+        let (compiled, sol) = solve(&expr, &partitions, 10, 1, 3);
+        assert!(
+            (sol.objective - 3.0).abs() < 1e-6,
+            "3 of 4 nodes => 3/4 of value"
+        );
+        let chosen = compiled.chosen(&sol);
+        assert_eq!(chosen.len(), 1);
+        let total: u32 = chosen[0].counts.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn scale_amplifies_and_barrier_gates() {
+        let all = set(2, &[0, 1]);
+        let partitions = PartitionSet::refine(2, std::slice::from_ref(&all));
+        // scale(3, leaf worth 2) = 6.
+        let expr = StrlExpr::scale(3.0, StrlExpr::nck(all.clone(), 1, 0, 5, 2.0));
+        let (_, sol) = solve(&expr, &partitions, 5, 1, 2);
+        assert!((sol.objective - 6.0).abs() < 1e-6);
+
+        // barrier(5, leaf worth 2): unreachable threshold => 0.
+        let expr = StrlExpr::barrier(5.0, StrlExpr::nck(all.clone(), 1, 0, 5, 2.0));
+        let (_, sol) = solve(&expr, &partitions, 5, 1, 2);
+        assert!(sol.objective.abs() < 1e-6);
+
+        // barrier(2, leaf worth 2): met => returns exactly 2.
+        let expr = StrlExpr::barrier(2.0, StrlExpr::nck(all, 1, 0, 5, 2.0));
+        let (_, sol) = solve(&expr, &partitions, 5, 1, 2);
+        assert!((sol.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn start_in_past_rejected() {
+        let all = set(2, &[0, 1]);
+        let partitions = PartitionSet::refine(2, std::slice::from_ref(&all));
+        let expr = StrlExpr::nck(all, 1, 5, 5, 1.0);
+        let input = CompileInput {
+            expr: &expr,
+            partitions: &partitions,
+            now: 10,
+            quantum: 5,
+            n_slices: 4,
+        };
+        assert!(matches!(
+            compile(&input, &|_, _| 2),
+            Err(CompileError::StartInPast { .. })
+        ));
+    }
+
+    #[test]
+    fn start_beyond_window_rejected() {
+        let all = set(2, &[0, 1]);
+        let partitions = PartitionSet::refine(2, std::slice::from_ref(&all));
+        let expr = StrlExpr::nck(all, 1, 100, 5, 1.0);
+        let input = CompileInput {
+            expr: &expr,
+            partitions: &partitions,
+            now: 0,
+            quantum: 5,
+            n_slices: 4,
+        };
+        assert!(matches!(
+            compile(&input, &|_, _| 2),
+            Err(CompileError::StartBeyondWindow { .. })
+        ));
+    }
+
+    #[test]
+    fn warm_vector_is_feasible_for_simple_choice() {
+        let all = set(3, &[0, 1, 2]);
+        let expr = StrlExpr::sum([StrlExpr::max([
+            StrlExpr::nck(all.clone(), 2, 0, 10, 1.0),
+            StrlExpr::nck(all.clone(), 2, 10, 10, 1.0),
+        ])]);
+        let partitions = PartitionSet::refine(3, &[all]);
+        let input = CompileInput {
+            expr: &expr,
+            partitions: &partitions,
+            now: 0,
+            quantum: 10,
+            n_slices: 2,
+        };
+        let compiled = compile(&input, &|_, _| 3).unwrap();
+        // Choose the second start with 2 nodes from class 0.
+        let class = compiled.leaves[1].partition_vars[0].0;
+        let warm = compiled.warm_vector(&[(1, vec![(class, 2)])]);
+        assert!(compiled.model.is_feasible(&warm, 1e-6));
+        let sol = compiled
+            .model
+            .solve_warm(&SolverConfig::exact(), &warm)
+            .unwrap();
+        assert!(sol.stats.warm_start_used);
+    }
+
+    #[test]
+    fn leaf_order_is_depth_first() {
+        let all = set(2, &[0, 1]);
+        let expr = StrlExpr::sum([
+            StrlExpr::max([
+                StrlExpr::nck(all.clone(), 1, 0, 1, 1.0),
+                StrlExpr::nck(all.clone(), 1, 1, 1, 1.0),
+            ]),
+            StrlExpr::nck(all.clone(), 1, 2, 1, 1.0),
+        ]);
+        let partitions = PartitionSet::refine(2, &[all]);
+        let input = CompileInput {
+            expr: &expr,
+            partitions: &partitions,
+            now: 0,
+            quantum: 1,
+            n_slices: 4,
+        };
+        let compiled = compile(&input, &|_, _| 2).unwrap();
+        let starts: Vec<Time> = compiled.leaves.iter().map(|l| l.start).collect();
+        assert_eq!(starts, vec![0, 1, 2]);
+        // Nested leaf has two ancestors (sum child, max child excluded —
+        // ancestors are the chain above the leaf's own indicator).
+        assert_eq!(compiled.leaves[0].ancestors.len(), 2);
+        assert_eq!(compiled.leaves[2].ancestors.len(), 1);
+    }
+}

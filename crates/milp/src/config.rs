@@ -1,0 +1,102 @@
+//! Solver configuration knobs.
+
+use std::time::Duration;
+
+/// Tunable parameters for the MILP solver.
+///
+/// The defaults mirror the paper's CPLEX configuration (Sec. 3.2.2): return
+/// "good enough" solutions within 10% of optimal, bounded wall-clock time.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Relative MIP gap at which the search stops: terminate once
+    /// `(best_bound - incumbent) <= rel_gap * max(|incumbent|, 1)`.
+    pub rel_gap: f64,
+    /// Wall-clock budget for branch-and-bound. The best incumbent found so
+    /// far is returned when the budget expires.
+    pub time_limit: Duration,
+    /// Maximum number of branch-and-bound nodes to explore.
+    pub node_limit: usize,
+    /// Tolerance within which a fractional value counts as integral.
+    pub int_tol: f64,
+    /// Maximum simplex iterations per LP solve (safety valve).
+    pub max_lp_iterations: usize,
+    /// Whether to run the diving heuristic at the root to seed an incumbent.
+    pub enable_diving: bool,
+    /// Maximum depth of the diving heuristic.
+    pub dive_depth: usize,
+    /// Whether to run presolve reductions before branch-and-bound.
+    pub enable_presolve: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            rel_gap: 1e-6,
+            time_limit: Duration::from_secs(60),
+            node_limit: 200_000,
+            int_tol: 1e-6,
+            max_lp_iterations: 200_000,
+            enable_diving: true,
+            dive_depth: 256,
+            enable_presolve: true,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The configuration the TetriSched scheduler uses online: 10% relative
+    /// gap and a bounded per-cycle solve time, as in the paper.
+    pub fn online(time_limit: Duration) -> Self {
+        Self {
+            rel_gap: 0.10,
+            time_limit,
+            ..Self::default()
+        }
+    }
+
+    /// Exact configuration for tests: zero gap, generous limits.
+    pub fn exact() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style setter for the relative gap.
+    pub fn with_rel_gap(mut self, gap: f64) -> Self {
+        self.rel_gap = gap;
+        self
+    }
+
+    /// Builder-style setter for the time limit.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = limit;
+        self
+    }
+
+    /// Builder-style setter for the node limit.
+    pub fn with_node_limit(mut self, limit: usize) -> Self {
+        self.node_limit = limit;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_config_matches_paper() {
+        let c = SolverConfig::online(Duration::from_secs(2));
+        assert_eq!(c.rel_gap, 0.10);
+        assert_eq!(c.time_limit, Duration::from_secs(2));
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = SolverConfig::default()
+            .with_rel_gap(0.5)
+            .with_node_limit(7)
+            .with_time_limit(Duration::from_millis(5));
+        assert_eq!(c.rel_gap, 0.5);
+        assert_eq!(c.node_limit, 7);
+        assert_eq!(c.time_limit, Duration::from_millis(5));
+    }
+}

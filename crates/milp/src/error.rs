@@ -1,0 +1,89 @@
+//! Error types for the MILP solver.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MilpError>;
+
+/// Errors produced while building or solving a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MilpError {
+    /// A variable id referenced a variable that does not exist in the model.
+    UnknownVariable(usize),
+    /// A variable was declared with a lower bound above its upper bound.
+    InvalidBounds {
+        /// Variable name.
+        name: String,
+        /// Declared lower bound.
+        lb: f64,
+        /// Declared upper bound.
+        ub: f64,
+    },
+    /// A coefficient or right-hand side was NaN or infinite.
+    NonFiniteCoefficient {
+        /// Where the bad value appeared.
+        context: String,
+    },
+    /// The simplex iteration limit was exceeded (numerical trouble).
+    IterationLimit {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A warm-start vector had the wrong length.
+    WarmStartLength {
+        /// Expected number of variables.
+        expected: usize,
+        /// Provided vector length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for MilpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MilpError::UnknownVariable(ix) => write!(f, "unknown variable id {ix}"),
+            MilpError::InvalidBounds { name, lb, ub } => {
+                write!(f, "variable `{name}` has invalid bounds [{lb}, {ub}]")
+            }
+            MilpError::NonFiniteCoefficient { context } => {
+                write!(f, "non-finite coefficient in {context}")
+            }
+            MilpError::IterationLimit { iterations } => {
+                write!(
+                    f,
+                    "simplex iteration limit exceeded after {iterations} iterations"
+                )
+            }
+            MilpError::WarmStartLength { expected, got } => {
+                write!(
+                    f,
+                    "warm start has {got} values, model has {expected} variables"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MilpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MilpError::InvalidBounds {
+            name: "x".into(),
+            lb: 2.0,
+            ub: 1.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains('x') && s.contains('2') && s.contains('1'));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&MilpError::UnknownVariable(3));
+    }
+}

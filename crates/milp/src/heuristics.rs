@@ -1,0 +1,133 @@
+//! Primal heuristics: diving from the root relaxation.
+
+use crate::branch_bound::most_fractional;
+use crate::config::SolverConfig;
+use crate::model::{Model, VarKind};
+use crate::simplex::{LpOutcome, Simplex};
+use crate::status::SolverStats;
+
+/// Dives from an LP-relaxation solution toward an integer-feasible point by
+/// repeatedly fixing the most fractional integer variable to its nearest
+/// integer and re-solving the relaxation. On infeasibility the most recent
+/// fixing is flipped once to the other side before giving up.
+///
+/// Returns the objective and assignment of an integer-feasible point, or
+/// `None` when the dive dead-ends.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dive(
+    model: &Model,
+    simplex: &Simplex,
+    base_lb: &[f64],
+    base_ub: &[f64],
+    root_values: &[f64],
+    config: &SolverConfig,
+    stats: &mut SolverStats,
+) -> Option<(f64, Vec<f64>)> {
+    let mut lb = base_lb.to_vec();
+    let mut ub = base_ub.to_vec();
+    let mut values = root_values.to_vec();
+
+    for _ in 0..config.dive_depth {
+        match most_fractional(model, &values, config.int_tol) {
+            None => {
+                // Integral within tolerance: snap and validate.
+                let mut snapped = values;
+                for (j, v) in model.vars().iter().enumerate() {
+                    if v.kind != VarKind::Continuous {
+                        snapped[j] = snapped[j].round();
+                    }
+                }
+                if model.is_feasible(&snapped, 1e-6) {
+                    return Some((model.objective_value(&snapped), snapped));
+                }
+                return None;
+            }
+            Some((j, x)) => {
+                let rounded = x.round().clamp(lb[j], ub[j]);
+                let (saved_lb, saved_ub) = (lb[j], ub[j]);
+                lb[j] = rounded;
+                ub[j] = rounded;
+                stats.lp_solves += 1;
+                match simplex.solve_with_bounds(model, &lb, &ub).ok()? {
+                    LpOutcome::Optimal { values: v, .. } => values = v,
+                    LpOutcome::Unbounded => return None,
+                    LpOutcome::Infeasible => {
+                        // Flip to the other side of the fractional value.
+                        let other = if rounded > x { x.floor() } else { x.ceil() };
+                        let other = other.clamp(saved_lb, saved_ub);
+                        if other == rounded {
+                            return None;
+                        }
+                        lb[j] = other;
+                        ub[j] = other;
+                        stats.lp_solves += 1;
+                        match simplex.solve_with_bounds(model, &lb, &ub).ok()? {
+                            LpOutcome::Optimal { values: v, .. } => values = v,
+                            _ => return None,
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    #[test]
+    fn dive_finds_feasible_point_on_knapsack() {
+        let mut m = Model::maximize();
+        let vars: Vec<_> = (0..8)
+            .map(|i| m.add_binary(format!("x{i}"), 1.0 + i as f64))
+            .collect();
+        m.add_constraint(
+            "w",
+            vars.iter().map(|&v| (v, 2.0)).collect::<Vec<_>>(),
+            Sense::Le,
+            7.0,
+        );
+        let simplex = Simplex::default();
+        let lb: Vec<f64> = m.vars().iter().map(|v| v.lb).collect();
+        let ub: Vec<f64> = m.vars().iter().map(|v| v.ub).collect();
+        let LpOutcome::Optimal { values, .. } = simplex.solve_with_bounds(&m, &lb, &ub).unwrap()
+        else {
+            panic!("root LP should be optimal");
+        };
+        let mut stats = SolverStats::default();
+        let cfg = SolverConfig::default();
+        let found = dive(&m, &simplex, &lb, &ub, &values, &cfg, &mut stats);
+        let (obj, point) = found.expect("dive should find a feasible point");
+        assert!(m.is_feasible(&point, 1e-6));
+        assert!(obj > 0.0);
+    }
+
+    #[test]
+    fn dive_on_integral_root_returns_it() {
+        let mut m = Model::maximize();
+        let x = m.add_binary("x", 1.0);
+        m.add_constraint("c", [(x, 1.0)], Sense::Le, 1.0);
+        let simplex = Simplex::default();
+        let mut stats = SolverStats::default();
+        let cfg = SolverConfig::default();
+        let found = dive(&m, &simplex, &[0.0], &[1.0], &[1.0], &cfg, &mut stats);
+        assert_eq!(found.unwrap().0, 1.0);
+    }
+}
+
+/// Crate-internal re-export of [`dive`] for the heuristic backend.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dive_public(
+    model: &Model,
+    simplex: &Simplex,
+    base_lb: &[f64],
+    base_ub: &[f64],
+    root_values: &[f64],
+    config: &SolverConfig,
+    stats: &mut SolverStats,
+) -> Option<(f64, Vec<f64>)> {
+    dive(model, simplex, base_lb, base_ub, root_values, config, stats)
+}

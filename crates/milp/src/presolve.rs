@@ -1,0 +1,291 @@
+//! Presolve: cheap model reductions applied before branch-and-bound.
+//!
+//! STRL compilation emits many structurally simple rows (demand equalities,
+//! small supply caps). Presolve shrinks the LP work per node:
+//!
+//! - **null rows** (no terms) are checked against their sense and dropped,
+//! - **singleton rows** (one variable) are converted into variable bounds,
+//! - **redundant `<=`/`>=` rows** — those satisfied by every point inside
+//!   the variable bounds — are dropped,
+//! - **bound tightening** propagates row activity bounds into variable
+//!   bounds (and rounds integer bounds inward),
+//! - obvious **infeasibility** (a row whose best achievable activity still
+//!   violates it, or crossed bounds) is detected without invoking the
+//!   solver.
+//!
+//! Variables are never removed or reindexed, so a solution of the presolved
+//! model is directly a solution of the original.
+
+use crate::model::{Model, Sense, VarKind};
+
+/// Outcome of presolving a model.
+#[derive(Debug)]
+pub enum PresolveOutcome {
+    /// A reduced (or unchanged) model, same variable indexing.
+    Reduced {
+        /// The model to hand to the solver.
+        model: Model,
+        /// Rows dropped by the reductions.
+        rows_dropped: usize,
+        /// Variable bounds tightened.
+        bounds_tightened: usize,
+    },
+    /// The model is infeasible; no solve needed.
+    Infeasible,
+}
+
+/// Bounds on a row's activity given current variable bounds.
+fn activity_bounds(model: &Model, terms: &[(crate::model::VarId, f64)]) -> (f64, f64) {
+    let mut lo = 0.0;
+    let mut hi = 0.0;
+    for &(v, c) in terms {
+        let var = model.var(v);
+        let (a, b) = if c >= 0.0 {
+            (c * var.lb, c * var.ub)
+        } else {
+            (c * var.ub, c * var.lb)
+        };
+        lo += a;
+        hi += b;
+    }
+    (lo, hi)
+}
+
+/// Presolves a model. `passes` bound-tightening sweeps are applied (two is
+/// usually enough for STRL-shaped models).
+pub fn presolve(model: &Model, passes: usize) -> PresolveOutcome {
+    const TOL: f64 = 1e-9;
+    let mut m = model.clone();
+    let mut rows_dropped = 0usize;
+    let mut bounds_tightened = 0usize;
+
+    for _ in 0..passes.max(1) {
+        // Bound tightening from each row.
+        for ci in 0..m.num_constraints() {
+            let c = m.constraint(crate::model::ConstraintId(ci)).clone();
+            let terms = crate::model::LinExpr {
+                terms: c.terms.clone(),
+                constant: 0.0,
+            }
+            .compact()
+            .terms;
+            if terms.is_empty() {
+                continue;
+            }
+            let (act_lo, act_hi) = activity_bounds(&m, &terms);
+            // For `<=` rows (and the `<=` side of `=`): each variable's
+            // contribution is bounded by rhs minus the minimum of the rest.
+            let tighten_le = matches!(c.sense, Sense::Le | Sense::Eq);
+            let tighten_ge = matches!(c.sense, Sense::Ge | Sense::Eq);
+            for &(v, coeff) in &terms {
+                if coeff.abs() < TOL {
+                    continue;
+                }
+                let var = m.var(v).clone();
+                // Minimum contribution of the other terms.
+                let (self_lo, self_hi) = if coeff >= 0.0 {
+                    (coeff * var.lb, coeff * var.ub)
+                } else {
+                    (coeff * var.ub, coeff * var.lb)
+                };
+                let rest_lo = act_lo - self_lo;
+                let rest_hi = act_hi - self_hi;
+                if tighten_le && rest_lo.is_finite() {
+                    // coeff * x <= rhs - rest_lo.
+                    let cap = c.rhs - rest_lo;
+                    if coeff > 0.0 {
+                        let mut new_ub = cap / coeff;
+                        if var.kind != VarKind::Continuous {
+                            new_ub = (new_ub + TOL).floor();
+                        }
+                        if new_ub < var.ub - TOL {
+                            m.set_bounds(v, var.lb, new_ub);
+                            bounds_tightened += 1;
+                        }
+                    } else {
+                        let mut new_lb = cap / coeff;
+                        if var.kind != VarKind::Continuous {
+                            new_lb = (new_lb - TOL).ceil();
+                        }
+                        if new_lb > var.lb + TOL {
+                            m.set_bounds(v, new_lb, var.ub);
+                            bounds_tightened += 1;
+                        }
+                    }
+                }
+                let var = m.var(v).clone();
+                if tighten_ge && rest_hi.is_finite() {
+                    // coeff * x >= rhs - rest_hi.
+                    let floor_val = c.rhs - rest_hi;
+                    if coeff > 0.0 {
+                        let mut new_lb = floor_val / coeff;
+                        if var.kind != VarKind::Continuous {
+                            new_lb = (new_lb - TOL).ceil();
+                        }
+                        if new_lb > var.lb + TOL {
+                            m.set_bounds(v, new_lb, var.ub);
+                            bounds_tightened += 1;
+                        }
+                    } else {
+                        let mut new_ub = floor_val / coeff;
+                        if var.kind != VarKind::Continuous {
+                            new_ub = (new_ub + TOL).floor();
+                        }
+                        if new_ub < var.ub - TOL {
+                            m.set_bounds(v, var.lb, new_ub);
+                            bounds_tightened += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Crossed bounds mean infeasible.
+    for v in m.vars() {
+        if v.lb > v.ub + 1e-7 {
+            return PresolveOutcome::Infeasible;
+        }
+    }
+
+    // Row filtering.
+    let mut kept = Model::maximize();
+    for (i, v) in m.vars().iter().enumerate() {
+        let _ = i;
+        kept.add_var(v.name.clone(), v.kind, v.lb, v.ub, v.obj);
+    }
+    kept.objective_offset = m.objective_offset;
+    for ci in 0..m.num_constraints() {
+        let c = m.constraint(crate::model::ConstraintId(ci));
+        let terms = crate::model::LinExpr {
+            terms: c.terms.clone(),
+            constant: 0.0,
+        }
+        .compact()
+        .terms;
+        if terms.is_empty() {
+            let ok = match c.sense {
+                Sense::Le => 0.0 <= c.rhs + 1e-9,
+                Sense::Ge => 0.0 >= c.rhs - 1e-9,
+                Sense::Eq => c.rhs.abs() <= 1e-9,
+            };
+            if !ok {
+                return PresolveOutcome::Infeasible;
+            }
+            rows_dropped += 1;
+            continue;
+        }
+        let (act_lo, act_hi) = activity_bounds(&kept, &terms);
+        let (redundant, infeasible) = match c.sense {
+            Sense::Le => (act_hi <= c.rhs + 1e-9, act_lo > c.rhs + 1e-7),
+            Sense::Ge => (act_lo >= c.rhs - 1e-9, act_hi < c.rhs - 1e-7),
+            Sense::Eq => (
+                (act_lo - c.rhs).abs() <= 1e-9 && (act_hi - c.rhs).abs() <= 1e-9,
+                act_lo > c.rhs + 1e-7 || act_hi < c.rhs - 1e-7,
+            ),
+        };
+        if infeasible {
+            return PresolveOutcome::Infeasible;
+        }
+        if redundant {
+            rows_dropped += 1;
+            continue;
+        }
+        kept.add_constraint(c.name.clone(), terms, c.sense, c.rhs);
+    }
+
+    PresolveOutcome::Reduced {
+        model: kept,
+        rows_dropped,
+        bounds_tightened,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SolverConfig;
+    use crate::model::{Model, Sense, VarKind};
+
+    #[test]
+    fn singleton_like_row_tightens_bound() {
+        let mut m = Model::maximize();
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 100.0, 1.0);
+        m.add_constraint("cap", [(x, 2.0)], Sense::Le, 10.0);
+        let PresolveOutcome::Reduced {
+            model,
+            rows_dropped,
+            bounds_tightened,
+        } = presolve(&m, 2)
+        else {
+            panic!("expected reduced");
+        };
+        assert_eq!(bounds_tightened, 1);
+        assert_eq!(model.var(x).ub, 5.0);
+        // The row is now redundant and dropped.
+        assert_eq!(rows_dropped, 1);
+        assert_eq!(model.num_constraints(), 0);
+    }
+
+    #[test]
+    fn integer_bounds_round_inward() {
+        let mut m = Model::maximize();
+        let x = m.add_var("x", VarKind::Integer, 0.0, 100.0, 1.0);
+        m.add_constraint("cap", [(x, 3.0)], Sense::Le, 10.0);
+        let PresolveOutcome::Reduced { model, .. } = presolve(&m, 1) else {
+            panic!("expected reduced");
+        };
+        assert_eq!(model.var(x).ub, 3.0);
+    }
+
+    #[test]
+    fn infeasible_row_detected() {
+        let mut m = Model::maximize();
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 1.0, 1.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, 1.0, 1.0);
+        m.add_constraint("impossible", [(x, 1.0), (y, 1.0)], Sense::Ge, 3.0);
+        assert!(matches!(presolve(&m, 1), PresolveOutcome::Infeasible));
+    }
+
+    #[test]
+    fn null_rows_checked_and_dropped() {
+        let mut m = Model::maximize();
+        m.add_var("x", VarKind::Continuous, 0.0, 1.0, 1.0);
+        m.add_constraint("trivial", [], Sense::Le, 5.0);
+        let PresolveOutcome::Reduced { rows_dropped, .. } = presolve(&m, 1) else {
+            panic!("expected reduced");
+        };
+        assert_eq!(rows_dropped, 1);
+
+        let mut m = Model::maximize();
+        m.add_var("x", VarKind::Continuous, 0.0, 1.0, 1.0);
+        m.add_constraint("broken", [], Sense::Ge, 5.0);
+        assert!(matches!(presolve(&m, 1), PresolveOutcome::Infeasible));
+    }
+
+    #[test]
+    fn presolved_model_has_same_optimum() {
+        // A STRL-shaped model: demand equality plus supply cap.
+        let mut m = Model::maximize();
+        let i = m.add_binary("I", 5.0);
+        let p = m.add_var("P", VarKind::Integer, 0.0, 10.0, 0.0);
+        m.add_constraint("demand", [(p, 1.0), (i, -3.0)], Sense::Eq, 0.0);
+        m.add_constraint("supply", [(p, 1.0)], Sense::Le, 4.0);
+        let original = m.solve(&SolverConfig::exact()).unwrap();
+
+        let PresolveOutcome::Reduced { model, .. } = presolve(&m, 2) else {
+            panic!("expected reduced");
+        };
+        let reduced = model.solve(&SolverConfig::exact()).unwrap();
+        assert!((original.objective - reduced.objective).abs() < 1e-9);
+        // P's bound was tightened to 3 (from the demand row) or 4 (supply).
+        assert!(model.var(p).ub <= 4.0);
+    }
+
+    #[test]
+    fn crossed_input_bounds_infeasible() {
+        let mut m = Model::maximize();
+        m.add_var("x", VarKind::Continuous, 2.0, 1.0, 1.0);
+        assert!(matches!(presolve(&m, 1), PresolveOutcome::Infeasible));
+    }
+}

@@ -1,0 +1,845 @@
+//! Two-phase primal simplex with bounded variables.
+//!
+//! The LP relaxations produced by STRL compilation contain thousands of
+//! binary indicator variables. Handling variable bounds natively (instead of
+//! encoding `x <= 1` as constraint rows) keeps the basis small: nonbasic
+//! variables rest at either their lower or upper bound, the ratio test
+//! includes "bound flips", and phase 1 introduces artificial variables only
+//! for rows whose slack cannot absorb the initial residual.
+//!
+//! The implementation is a dense-tableau simplex: at the problem sizes the
+//! TetriSched scheduler generates per cycle (10^3–10^4 columns), dense row
+//! operations are fast and numerically well behaved. Dantzig pricing is used
+//! until a stall is detected, after which Bland's rule guarantees
+//! termination.
+
+use crate::error::{MilpError, Result};
+use crate::model::{Model, Sense};
+
+/// Tolerance for reduced-cost optimality checks.
+const COST_TOL: f64 = 1e-7;
+/// Minimum magnitude an element may have to serve as a pivot.
+const PIVOT_TOL: f64 = 1e-9;
+/// Feasibility tolerance on bounds and constraint residuals.
+const FEAS_TOL: f64 = 1e-7;
+/// Iterations without objective improvement before switching to Bland's rule.
+const STALL_LIMIT: usize = 256;
+/// Pivots between full recomputations of basic values and reduced costs.
+const REFRESH_PERIOD: usize = 128;
+
+/// Result of an LP solve.
+#[derive(Debug, Clone)]
+pub enum LpOutcome {
+    /// An optimal basic solution was found.
+    Optimal {
+        /// Objective value at the optimum.
+        objective: f64,
+        /// Values of the *structural* variables, in model column order.
+        values: Vec<f64>,
+    },
+    /// No assignment satisfies the constraints and bounds.
+    Infeasible,
+    /// The objective is unbounded above.
+    Unbounded,
+}
+
+/// Where a nonbasic variable currently rests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColState {
+    Basic,
+    AtLower,
+    AtUpper,
+    /// Free variable (both bounds infinite) resting at zero.
+    FreeZero,
+}
+
+/// Reusable LP solver.
+///
+/// A `Simplex` owns no problem state between calls; it exists to carry the
+/// iteration limit and to namespace the solve entry points.
+#[derive(Debug, Clone)]
+pub struct Simplex {
+    /// Maximum pivots per phase before reporting numerical trouble.
+    pub max_iterations: usize,
+}
+
+impl Default for Simplex {
+    fn default() -> Self {
+        Self {
+            max_iterations: 200_000,
+        }
+    }
+}
+
+impl Simplex {
+    /// Creates a solver with the given per-phase iteration limit.
+    pub fn new(max_iterations: usize) -> Self {
+        Self { max_iterations }
+    }
+
+    /// Solves the LP relaxation of `model` using the model's own bounds.
+    pub fn solve(&self, model: &Model) -> Result<LpOutcome> {
+        let lb: Vec<f64> = model.vars().iter().map(|v| v.lb).collect();
+        let ub: Vec<f64> = model.vars().iter().map(|v| v.ub).collect();
+        self.solve_with_bounds(model, &lb, &ub)
+    }
+
+    /// Solves the LP relaxation of `model` with overridden variable bounds
+    /// (used by branch-and-bound, which tightens bounds per node).
+    pub fn solve_with_bounds(&self, model: &Model, lb: &[f64], ub: &[f64]) -> Result<LpOutcome> {
+        // Reject immediately if any bound pair is crossed: branch-and-bound
+        // legitimately produces such nodes.
+        for j in 0..lb.len() {
+            if lb[j] > ub[j] + FEAS_TOL {
+                return Ok(LpOutcome::Infeasible);
+            }
+        }
+        let mut t = Tableau::build(model, lb, ub);
+        t.max_iterations = self.max_iterations;
+        t.solve()
+    }
+}
+
+/// Dense simplex tableau in canonical form: the columns of basic variables
+/// are unit vectors, `rows` holds the transformed constraint matrix, and
+/// `rhs` the transformed right-hand side, so basic values satisfy
+/// `x_B[i] = rhs[i] - sum_over_nonbasic(rows[i][j] * value(j))`.
+struct Tableau {
+    /// Number of constraint rows.
+    m: usize,
+    /// Number of structural columns.
+    n_struct: usize,
+    /// Total columns (structural + slack + artificial).
+    n_cols: usize,
+    /// Row-major dense matrix, `m` rows of `n_cols`.
+    rows: Vec<Vec<f64>>,
+    /// Transformed right-hand side.
+    rhs: Vec<f64>,
+    /// Lower bound per column.
+    lb: Vec<f64>,
+    /// Upper bound per column.
+    ub: Vec<f64>,
+    /// Phase-2 objective coefficient per column.
+    cost: Vec<f64>,
+    /// Reduced costs for the current phase.
+    dj: Vec<f64>,
+    /// State per column.
+    state: Vec<ColState>,
+    /// Basic column per row.
+    basis: Vec<usize>,
+    /// Current value of the basic variable in each row.
+    x_basic: Vec<f64>,
+    /// First artificial column index (== `n_cols` when none).
+    art_start: usize,
+    /// Iteration limit per phase.
+    max_iterations: usize,
+}
+
+impl Tableau {
+    /// Builds the initial tableau: slack columns per row, structural
+    /// variables nonbasic at a finite bound, and artificial columns for rows
+    /// whose slack cannot absorb the residual.
+    fn build(model: &Model, s_lb: &[f64], s_ub: &[f64]) -> Tableau {
+        let m = model.num_constraints();
+        let n_struct = model.num_vars();
+        let n_slack = m;
+        let base_cols = n_struct + n_slack;
+
+        let mut lb = Vec::with_capacity(base_cols + m);
+        let mut ub = Vec::with_capacity(base_cols + m);
+        let mut cost = vec![0.0; base_cols];
+        for j in 0..n_struct {
+            lb.push(s_lb[j]);
+            ub.push(s_ub[j]);
+            cost[j] = model.var(crate::model::VarId(j)).obj;
+        }
+        for c in model.constraints() {
+            let (slo, shi) = match c.sense {
+                Sense::Le => (0.0, f64::INFINITY),
+                Sense::Ge => (f64::NEG_INFINITY, 0.0),
+                Sense::Eq => (0.0, 0.0),
+            };
+            lb.push(slo);
+            ub.push(shi);
+        }
+
+        // Nonbasic rest position for structural columns.
+        let mut state = vec![ColState::AtLower; base_cols];
+        for (j, st) in state.iter_mut().enumerate().take(n_struct) {
+            *st = initial_state(lb[j], ub[j]);
+        }
+
+        // Raw rows: structural coefficients plus the unit slack column.
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut rhs: Vec<f64> = Vec::with_capacity(m);
+        for (i, c) in model.constraints().iter().enumerate() {
+            let mut row = vec![0.0; base_cols];
+            for &(v, coeff) in &c.terms {
+                row[v.index()] += coeff;
+            }
+            row[n_struct + i] = 1.0;
+            rows.push(row);
+            rhs.push(c.rhs);
+        }
+
+        // Decide the initial basis per row: the slack if it can hold the
+        // residual, otherwise an artificial.
+        let mut basis = vec![0usize; m];
+        let mut x_basic = vec![0.0; m];
+        let mut art_cols: Vec<usize> = Vec::new();
+        // Residual of each row given structural variables at rest.
+        let nval = |j: usize, state: &[ColState], lb: &[f64], ub: &[f64]| -> f64 {
+            match state[j] {
+                ColState::AtLower => lb[j],
+                ColState::AtUpper => ub[j],
+                _ => 0.0,
+            }
+        };
+        for i in 0..m {
+            let mut res = rhs[i];
+            for (j, &a) in rows[i].iter().take(n_struct).enumerate() {
+                if a != 0.0 {
+                    res -= a * nval(j, &state, &lb, &ub);
+                }
+            }
+            let s = n_struct + i;
+            if res >= lb[s] - FEAS_TOL && res <= ub[s] + FEAS_TOL {
+                // The slack absorbs the residual: it is basic and feasible.
+                basis[i] = s;
+                state[s] = ColState::Basic;
+                x_basic[i] = res;
+            } else {
+                // Rest the slack at its nearest bound and cover the remainder
+                // with an artificial variable.
+                let beta = if res < lb[s] { lb[s] } else { ub[s] };
+                state[s] = if beta == lb[s] {
+                    ColState::AtLower
+                } else {
+                    ColState::AtUpper
+                };
+                let mut residual = res - beta;
+                if residual < 0.0 {
+                    // Scale the row so the artificial enters with +1 and a
+                    // nonnegative value.
+                    for a in rows[i].iter_mut() {
+                        *a = -*a;
+                    }
+                    rhs[i] = -rhs[i];
+                    residual = -residual;
+                }
+                art_cols.push(i);
+                x_basic[i] = residual;
+            }
+        }
+
+        let art_start = base_cols;
+        let n_cols = base_cols + art_cols.len();
+        for row in rows.iter_mut() {
+            row.resize(n_cols, 0.0);
+        }
+        cost.resize(n_cols, 0.0);
+        lb.resize(n_cols, 0.0);
+        ub.resize(n_cols, f64::INFINITY);
+        state.resize(n_cols, ColState::AtLower);
+        for (k, &i) in art_cols.iter().enumerate() {
+            let col = art_start + k;
+            rows[i][col] = 1.0;
+            basis[i] = col;
+            state[col] = ColState::Basic;
+        }
+
+        Tableau {
+            m,
+            n_struct,
+            n_cols,
+            rows,
+            rhs,
+            lb,
+            ub,
+            cost,
+            dj: vec![0.0; n_cols],
+            state,
+            basis,
+            x_basic,
+            art_start,
+            max_iterations: 200_000,
+        }
+    }
+
+    /// Rest value of a nonbasic column.
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.state[j] {
+            ColState::AtLower => self.lb[j],
+            ColState::AtUpper => self.ub[j],
+            ColState::FreeZero => 0.0,
+            ColState::Basic => unreachable!("basic column has no rest value"),
+        }
+    }
+
+    /// Recomputes all basic values from the tableau (numerical refresh).
+    fn refresh_basics(&mut self) {
+        for i in 0..self.m {
+            let mut v = self.rhs[i];
+            let row = &self.rows[i];
+            for (j, &a) in row.iter().enumerate() {
+                if a != 0.0 && self.state[j] != ColState::Basic {
+                    v -= a * self.nonbasic_value(j);
+                }
+            }
+            self.x_basic[i] = v;
+        }
+    }
+
+    /// Recomputes reduced costs for the given phase cost vector.
+    fn refresh_reduced_costs(&mut self, phase1: bool) {
+        let c = |j: usize| -> f64 {
+            if phase1 {
+                if j >= self.art_start {
+                    -1.0
+                } else {
+                    0.0
+                }
+            } else {
+                self.cost[j]
+            }
+        };
+        for j in 0..self.n_cols {
+            self.dj[j] = c(j);
+        }
+        for i in 0..self.m {
+            let cb = c(self.basis[i]);
+            if cb != 0.0 {
+                let row = &self.rows[i];
+                for (d, &a) in self.dj.iter_mut().zip(row.iter()) {
+                    if a != 0.0 {
+                        *d -= cb * a;
+                    }
+                }
+            }
+        }
+        // Basic columns have zero reduced cost by construction; enforce it to
+        // cancel accumulated round-off.
+        for &b in &self.basis {
+            self.dj[b] = 0.0;
+        }
+    }
+
+    /// Runs phase 1 (if artificials exist) and phase 2.
+    fn solve(&mut self) -> Result<LpOutcome> {
+        if self.art_start < self.n_cols {
+            self.refresh_reduced_costs(true);
+            match self.optimize(true)? {
+                PhaseEnd::Optimal => {}
+                PhaseEnd::Unbounded => {
+                    // Phase 1 objective is bounded above by zero; reaching
+                    // here means numerical trouble.
+                    return Err(MilpError::IterationLimit { iterations: 0 });
+                }
+            }
+            let infeasibility: f64 = (0..self.m)
+                .filter(|&i| self.basis[i] >= self.art_start)
+                .map(|i| self.x_basic[i].abs())
+                .sum::<f64>()
+                + (self.art_start..self.n_cols)
+                    .filter(|&j| self.state[j] != ColState::Basic)
+                    .map(|j| self.nonbasic_value(j).abs())
+                    .sum::<f64>();
+            if infeasibility > 1e-6 {
+                return Ok(LpOutcome::Infeasible);
+            }
+            // Freeze artificials at zero for phase 2.
+            for j in self.art_start..self.n_cols {
+                self.lb[j] = 0.0;
+                self.ub[j] = 0.0;
+                if self.state[j] == ColState::AtUpper {
+                    self.state[j] = ColState::AtLower;
+                }
+            }
+        }
+        self.refresh_basics();
+        self.refresh_reduced_costs(false);
+        match self.optimize(false)? {
+            PhaseEnd::Optimal => {}
+            PhaseEnd::Unbounded => return Ok(LpOutcome::Unbounded),
+        }
+        // Extract structural values.
+        let mut values = vec![0.0; self.n_struct];
+        for (j, value) in values.iter_mut().enumerate() {
+            *value = match self.state[j] {
+                ColState::Basic => {
+                    let i = self
+                        .basis
+                        .iter()
+                        .position(|&b| b == j)
+                        .expect("basic column must appear in the basis");
+                    self.x_basic[i]
+                }
+                _ => self.nonbasic_value(j),
+            };
+        }
+        // Snap to bounds to remove round-off.
+        for (j, v) in values.iter_mut().enumerate() {
+            if self.lb[j].is_finite() && (*v - self.lb[j]).abs() < FEAS_TOL {
+                *v = self.lb[j];
+            }
+            if self.ub[j].is_finite() && (*v - self.ub[j]).abs() < FEAS_TOL {
+                *v = self.ub[j];
+            }
+        }
+        let objective: f64 = values
+            .iter()
+            .enumerate()
+            .map(|(j, &x)| self.cost[j] * x)
+            .sum();
+        Ok(LpOutcome::Optimal { objective, values })
+    }
+
+    /// Pivots until optimality or unboundedness for the current phase.
+    fn optimize(&mut self, phase1: bool) -> Result<PhaseEnd> {
+        let mut bland = false;
+        let mut stall = 0usize;
+        let mut iterations = 0usize;
+        let mut since_refresh = 0usize;
+        loop {
+            iterations += 1;
+            if iterations > self.max_iterations {
+                return Err(MilpError::IterationLimit { iterations });
+            }
+            since_refresh += 1;
+            if since_refresh >= REFRESH_PERIOD {
+                self.refresh_basics();
+                self.refresh_reduced_costs(phase1);
+                since_refresh = 0;
+            }
+
+            // Pricing: pick an entering column and its direction.
+            let mut entering: Option<(usize, f64, f64)> = None; // (col, dir, score)
+            for j in 0..self.n_cols {
+                if self.state[j] == ColState::Basic {
+                    continue;
+                }
+                // Fixed columns (lb == ub) can never make progress.
+                if self.lb[j] == self.ub[j] {
+                    continue;
+                }
+                let d = self.dj[j];
+                let dir = match self.state[j] {
+                    ColState::AtLower if d > COST_TOL => 1.0,
+                    ColState::AtUpper if d < -COST_TOL => -1.0,
+                    ColState::FreeZero if d > COST_TOL => 1.0,
+                    ColState::FreeZero if d < -COST_TOL => -1.0,
+                    _ => continue,
+                };
+                let score = d.abs();
+                if bland {
+                    entering = Some((j, dir, score));
+                    break;
+                }
+                match entering {
+                    Some((_, _, best)) if best >= score => {}
+                    _ => entering = Some((j, dir, score)),
+                }
+            }
+            let Some((j_in, dir, _)) = entering else {
+                return Ok(PhaseEnd::Optimal);
+            };
+
+            // Ratio test.
+            let enter_span = if self.lb[j_in].is_finite() && self.ub[j_in].is_finite() {
+                self.ub[j_in] - self.lb[j_in]
+            } else {
+                f64::INFINITY
+            };
+            let mut t_best = enter_span;
+            let mut leave: Option<(usize, bool, f64)> = None; // (row, hits_upper, |alpha|)
+            for i in 0..self.m {
+                let alpha = self.rows[i][j_in];
+                if alpha.abs() < PIVOT_TOL {
+                    continue;
+                }
+                let delta = -alpha * dir; // rate of change of x_basic[i]
+                let b = self.basis[i];
+                let (limit, hits_upper) = if delta > 0.0 {
+                    if self.ub[b].is_finite() {
+                        ((self.ub[b] - self.x_basic[i]) / delta, true)
+                    } else {
+                        continue;
+                    }
+                } else if self.lb[b].is_finite() {
+                    ((self.lb[b] - self.x_basic[i]) / delta, false)
+                } else {
+                    continue;
+                };
+                let limit = limit.max(0.0);
+                let better = match leave {
+                    None => limit < t_best - 1e-12,
+                    Some((_, _, best_alpha)) => {
+                        limit < t_best - 1e-12
+                            || (limit < t_best + 1e-12 && {
+                                if bland {
+                                    // Bland: smallest basis index wins ties.
+                                    let (r, _, _) = leave.unwrap();
+                                    b < self.basis[r]
+                                } else {
+                                    alpha.abs() > best_alpha
+                                }
+                            })
+                    }
+                };
+                if better || (leave.is_none() && limit <= t_best) {
+                    t_best = t_best.min(limit);
+                    leave = Some((i, hits_upper, alpha.abs()));
+                }
+            }
+
+            if t_best.is_infinite() {
+                return Ok(PhaseEnd::Unbounded);
+            }
+
+            let improvement = self.dj[j_in].abs() * t_best;
+            if improvement <= 1e-12 {
+                stall += 1;
+                if stall > STALL_LIMIT {
+                    bland = true;
+                }
+            } else {
+                stall = 0;
+            }
+
+            match leave {
+                // The entering variable reaches its opposite bound first:
+                // bound flip, no basis change.
+                None => {
+                    debug_assert!(enter_span.is_finite());
+                    for i in 0..self.m {
+                        let alpha = self.rows[i][j_in];
+                        if alpha != 0.0 {
+                            self.x_basic[i] += -alpha * dir * t_best;
+                        }
+                    }
+                    self.state[j_in] = match self.state[j_in] {
+                        ColState::AtLower => ColState::AtUpper,
+                        ColState::AtUpper => ColState::AtLower,
+                        other => other,
+                    };
+                }
+                Some((r, hits_upper, _))
+                    if t_best >= enter_span - 1e-12 && enter_span.is_finite() =>
+                {
+                    // Tie between bound flip and basis change: prefer the
+                    // flip (cheaper, no pivot).
+                    let _ = (r, hits_upper);
+                    for i in 0..self.m {
+                        let alpha = self.rows[i][j_in];
+                        if alpha != 0.0 {
+                            self.x_basic[i] += -alpha * dir * enter_span;
+                        }
+                    }
+                    self.state[j_in] = match self.state[j_in] {
+                        ColState::AtLower => ColState::AtUpper,
+                        ColState::AtUpper => ColState::AtLower,
+                        other => other,
+                    };
+                }
+                Some((r, hits_upper, _)) => {
+                    // Standard pivot: j_in enters the basis in row r.
+                    let entering_value = match self.state[j_in] {
+                        ColState::FreeZero => dir * t_best,
+                        _ => self.nonbasic_value(j_in) + dir * t_best,
+                    };
+                    for i in 0..self.m {
+                        if i == r {
+                            continue;
+                        }
+                        let alpha = self.rows[i][j_in];
+                        if alpha != 0.0 {
+                            self.x_basic[i] += -alpha * dir * t_best;
+                        }
+                    }
+                    let leaving = self.basis[r];
+                    self.state[leaving] = if hits_upper {
+                        ColState::AtUpper
+                    } else {
+                        ColState::AtLower
+                    };
+                    self.basis[r] = j_in;
+                    self.state[j_in] = ColState::Basic;
+                    self.x_basic[r] = entering_value;
+                    self.pivot(r, j_in);
+                }
+            }
+        }
+    }
+
+    /// Gaussian elimination step making column `j` a unit vector at row `r`.
+    fn pivot(&mut self, r: usize, j: usize) {
+        let p = self.rows[r][j];
+        debug_assert!(p.abs() >= PIVOT_TOL, "pivot too small: {p}");
+        let inv = 1.0 / p;
+        for a in self.rows[r].iter_mut() {
+            *a *= inv;
+        }
+        self.rhs[r] *= inv;
+        // Take the pivot row out to satisfy the borrow checker cheaply.
+        let pivot_row = std::mem::take(&mut self.rows[r]);
+        let pivot_rhs = self.rhs[r];
+        for i in 0..self.m {
+            if i == r {
+                continue;
+            }
+            let factor = self.rows[i][j];
+            if factor != 0.0 {
+                let row = &mut self.rows[i];
+                for (a, &pa) in row.iter_mut().zip(pivot_row.iter()) {
+                    *a -= factor * pa;
+                }
+                self.rhs[i] -= factor * pivot_rhs;
+            }
+        }
+        let dfac = self.dj[j];
+        if dfac != 0.0 {
+            for (d, &pa) in self.dj.iter_mut().zip(pivot_row.iter()) {
+                *d -= dfac * pa;
+            }
+        }
+        self.dj[j] = 0.0;
+        self.rows[r] = pivot_row;
+    }
+}
+
+/// How a phase of the simplex ended.
+enum PhaseEnd {
+    Optimal,
+    Unbounded,
+}
+
+/// Chooses the rest position for a nonbasic column given its bounds.
+fn initial_state(lb: f64, ub: f64) -> ColState {
+    if lb.is_finite() {
+        ColState::AtLower
+    } else if ub.is_finite() {
+        ColState::AtUpper
+    } else {
+        ColState::FreeZero
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense, VarKind};
+
+    fn lp(model: &Model) -> LpOutcome {
+        Simplex::default().solve(model).expect("lp solve")
+    }
+
+    fn assert_optimal(out: &LpOutcome, expect_obj: f64) -> Vec<f64> {
+        match out {
+            LpOutcome::Optimal { objective, values } => {
+                assert!(
+                    (objective - expect_obj).abs() < 1e-6,
+                    "objective {objective} != {expect_obj}"
+                );
+                values.clone()
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_2d_lp() {
+        // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18; x,y >= 0.
+        // Classic Dantzig example, optimum 36 at (2, 6).
+        let mut m = Model::maximize();
+        let x = m.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 3.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 5.0);
+        m.add_constraint("c1", [(x, 1.0)], Sense::Le, 4.0);
+        m.add_constraint("c2", [(y, 2.0)], Sense::Le, 12.0);
+        m.add_constraint("c3", [(x, 3.0), (y, 2.0)], Sense::Le, 18.0);
+        let v = assert_optimal(&lp(&m), 36.0);
+        assert!((v[0] - 2.0).abs() < 1e-6);
+        assert!((v[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn upper_bounds_without_rows() {
+        // max x + y with x,y in [0, 2] and x + y <= 3 -> 3.
+        let mut m = Model::maximize();
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 2.0, 1.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, 2.0, 1.0);
+        m.add_constraint("c", [(x, 1.0), (y, 1.0)], Sense::Le, 3.0);
+        assert_optimal(&lp(&m), 3.0);
+    }
+
+    #[test]
+    fn equality_constraints_need_phase1() {
+        // max x + 2y  s.t. x + y = 5, x - y >= 1, x,y >= 0. Optimum at
+        // (3, 2): 7.
+        let mut m = Model::maximize();
+        let x = m.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 2.0);
+        m.add_constraint("sum", [(x, 1.0), (y, 1.0)], Sense::Eq, 5.0);
+        m.add_constraint("diff", [(x, 1.0), (y, -1.0)], Sense::Ge, 1.0);
+        let v = assert_optimal(&lp(&m), 7.0);
+        assert!((v[0] - 3.0).abs() < 1e-6);
+        assert!((v[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::maximize();
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 1.0, 1.0);
+        m.add_constraint("hi", [(x, 1.0)], Sense::Ge, 2.0);
+        assert!(matches!(lp(&m), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::maximize();
+        let x = m.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 0.0);
+        m.add_constraint("c", [(x, 1.0), (y, -1.0)], Sense::Le, 1.0);
+        assert!(matches!(lp(&m), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn no_constraints_bound_flip() {
+        // max 2x - y with x in [0,3], y in [1, 5]: x=3, y=1 -> 5.
+        let mut m = Model::maximize();
+        m.add_var("x", VarKind::Continuous, 0.0, 3.0, 2.0);
+        m.add_var("y", VarKind::Continuous, 1.0, 5.0, -1.0);
+        let v = assert_optimal(&lp(&m), 5.0);
+        assert_eq!(v, vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn no_constraints_unbounded() {
+        let mut m = Model::maximize();
+        m.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+        assert!(matches!(lp(&m), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // max -x with x in [-4, 10], x >= -2 via constraint -> x = -2, obj 2.
+        let mut m = Model::maximize();
+        let x = m.add_var("x", VarKind::Continuous, -4.0, 10.0, -1.0);
+        m.add_constraint("c", [(x, 1.0)], Sense::Ge, -2.0);
+        let v = assert_optimal(&lp(&m), 2.0);
+        assert!((v[0] + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn free_variable() {
+        // max x s.t. x + y <= 4, y >= 1, x free -> with y at 1, x = 3.
+        let mut m = Model::maximize();
+        let x = m.add_var(
+            "x",
+            VarKind::Continuous,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            1.0,
+        );
+        let y = m.add_var("y", VarKind::Continuous, 1.0, f64::INFINITY, 0.0);
+        m.add_constraint("c", [(x, 1.0), (y, 1.0)], Sense::Le, 4.0);
+        let v = assert_optimal(&lp(&m), 3.0);
+        assert!((v[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // A classically degenerate LP (multiple constraints active at the
+        // optimum). Terminates and finds obj = 1.
+        let mut m = Model::maximize();
+        let x = m.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 0.0);
+        m.add_constraint("a", [(x, 1.0), (y, 1.0)], Sense::Le, 1.0);
+        m.add_constraint("b", [(x, 1.0), (y, 2.0)], Sense::Le, 1.0);
+        m.add_constraint("c", [(x, 1.0)], Sense::Le, 1.0);
+        assert_optimal(&lp(&m), 1.0);
+    }
+
+    #[test]
+    fn duplicate_terms_are_summed() {
+        // max x with (0.5x + 0.5x) <= 2 -> 2.
+        let mut m = Model::maximize();
+        let x = m.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+        m.add_constraint("dup", [(x, 0.5), (x, 0.5)], Sense::Le, 2.0);
+        assert_optimal(&lp(&m), 2.0);
+    }
+
+    #[test]
+    fn crossed_override_bounds_infeasible() {
+        let mut m = Model::maximize();
+        m.add_var("x", VarKind::Continuous, 0.0, 1.0, 1.0);
+        let out = Simplex::default()
+            .solve_with_bounds(&m, &[2.0], &[1.0])
+            .unwrap();
+        assert!(matches!(out, LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn knapsack_relaxation() {
+        // max 10a + 6b + 4c s.t. a+b+c <= 100, 10a+4b+5c <= 600,
+        // 2a+2b+6c <= 300 -> optimum 733.33 at (33.33, 66.67, 0).
+        let mut m = Model::maximize();
+        let a = m.add_var("a", VarKind::Continuous, 0.0, f64::INFINITY, 10.0);
+        let b = m.add_var("b", VarKind::Continuous, 0.0, f64::INFINITY, 6.0);
+        let c = m.add_var("c", VarKind::Continuous, 0.0, f64::INFINITY, 4.0);
+        m.add_constraint("c1", [(a, 1.0), (b, 1.0), (c, 1.0)], Sense::Le, 100.0);
+        m.add_constraint("c2", [(a, 10.0), (b, 4.0), (c, 5.0)], Sense::Le, 600.0);
+        m.add_constraint("c3", [(a, 2.0), (b, 2.0), (c, 6.0)], Sense::Le, 300.0);
+        let v = assert_optimal(&lp(&m), 2200.0 / 3.0);
+        assert!((v[0] - 100.0 / 3.0).abs() < 1e-4);
+        assert!((v[1] - 200.0 / 3.0).abs() < 1e-4);
+        assert!(v[2].abs() < 1e-6);
+    }
+
+    #[test]
+    fn eq_row_with_zero_residual_uses_slack() {
+        // x starts at lb=0 and the Eq row has rhs 0, so the slack absorbs it
+        // without an artificial.
+        let mut m = Model::maximize();
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 5.0, 1.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, 5.0, -1.0);
+        m.add_constraint("eq", [(x, 1.0), (y, -1.0)], Sense::Eq, 0.0);
+        // max x - y with x == y -> any x=y gives 0.
+        assert_optimal(&lp(&m), 0.0);
+    }
+
+    #[test]
+    fn larger_random_like_lp_is_consistent() {
+        // A structured 20-var LP; verify the claimed optimum is feasible and
+        // no feasible corner beats it on a coarse grid probe.
+        let mut m = Model::maximize();
+        let vars: Vec<_> = (0..20)
+            .map(|i| {
+                m.add_var(
+                    format!("x{i}"),
+                    VarKind::Continuous,
+                    0.0,
+                    1.0,
+                    1.0 + (i as f64) * 0.1,
+                )
+            })
+            .collect();
+        // Budget: sum <= 10, pairwise caps.
+        m.add_constraint(
+            "budget",
+            vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(),
+            Sense::Le,
+            10.0,
+        );
+        for w in vars.chunks(2) {
+            m.add_constraint("pair", [(w[0], 1.0), (w[1], 1.0)], Sense::Le, 1.5);
+        }
+        let out = lp(&m);
+        let LpOutcome::Optimal { objective, values } = out else {
+            panic!("expected optimal");
+        };
+        assert!(m.is_feasible(&values, 1e-6));
+        // The greedy upper bound: take the most valuable half of each pair.
+        assert!(objective <= 10.0 * 2.9 + 1e-6);
+        assert!(objective > 15.0);
+    }
+}

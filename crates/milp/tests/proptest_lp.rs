@@ -1,0 +1,134 @@
+//! LP-level property tests: the simplex optimum must dominate every
+//! randomly sampled feasible point, and returned solutions must satisfy
+//! all constraints.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tetrisched_milp::{LpOutcome, Model, Sense, Simplex, VarKind};
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    n: usize,
+    obj: Vec<f64>,
+    ub: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>,
+    seed: u64,
+}
+
+fn random_lp() -> impl Strategy<Value = RandomLp> {
+    (2usize..8).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec(-4.0..8.0f64, n),
+            proptest::collection::vec(0.5..6.0f64, n),
+            proptest::collection::vec(
+                (proptest::collection::vec(0.0..4.0f64, n), 1.0..20.0f64),
+                1..6,
+            ),
+            0u64..1000,
+        )
+            .prop_map(|(n, obj, ub, rows, seed)| RandomLp {
+                n,
+                obj,
+                ub,
+                rows,
+                seed,
+            })
+    })
+}
+
+fn build(lp: &RandomLp) -> Model {
+    let mut m = Model::maximize();
+    let vars: Vec<_> = (0..lp.n)
+        .map(|j| {
+            m.add_var(
+                format!("x{j}"),
+                VarKind::Continuous,
+                0.0,
+                lp.ub[j],
+                lp.obj[j],
+            )
+        })
+        .collect();
+    for (i, (coeffs, rhs)) in lp.rows.iter().enumerate() {
+        m.add_constraint(
+            format!("c{i}"),
+            vars.iter().cloned().zip(coeffs.iter().cloned()),
+            Sense::Le,
+            *rhs,
+        );
+    }
+    m
+}
+
+/// Samples a feasible point by drawing inside the box and scaling down
+/// until all rows hold (coefficients are nonnegative, so scaling toward
+/// the origin preserves feasibility).
+fn sample_feasible(lp: &RandomLp, rng: &mut StdRng) -> Vec<f64> {
+    let mut x: Vec<f64> = (0..lp.n).map(|j| rng.random::<f64>() * lp.ub[j]).collect();
+    for (coeffs, rhs) in &lp.rows {
+        let lhs: f64 = coeffs.iter().zip(&x).map(|(c, v)| c * v).sum();
+        if lhs > *rhs {
+            let scale = rhs / lhs;
+            for v in x.iter_mut() {
+                *v *= scale;
+            }
+        }
+    }
+    x
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn lp_optimum_dominates_random_feasible_points(lp in random_lp()) {
+        let model = build(&lp);
+        let out = Simplex::default().solve(&model).unwrap();
+        // Nonnegative coefficients + finite upper bounds: always feasible
+        // (origin) and bounded.
+        let LpOutcome::Optimal { objective, values } = out else {
+            return Err(TestCaseError::fail("expected optimal"));
+        };
+        prop_assert!(model.is_feasible(&values, 1e-6),
+            "optimum not feasible: {:?}", values);
+        let mut rng = StdRng::seed_from_u64(lp.seed);
+        for _ in 0..50 {
+            let x = sample_feasible(&lp, &mut rng);
+            let obj: f64 = lp.obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+            prop_assert!(obj <= objective + 1e-6,
+                "sampled point {obj} beats 'optimum' {objective}");
+        }
+    }
+
+    #[test]
+    fn lp_objective_consistent_with_values(lp in random_lp()) {
+        let model = build(&lp);
+        if let LpOutcome::Optimal { objective, values } =
+            Simplex::default().solve(&model).unwrap()
+        {
+            let recomputed = model.objective_value(&values);
+            prop_assert!((objective - recomputed).abs() < 1e-6,
+                "reported {objective} vs recomputed {recomputed}");
+        }
+    }
+
+    #[test]
+    fn tightening_bounds_never_improves(lp in random_lp()) {
+        let model = build(&lp);
+        let base = match Simplex::default().solve(&model).unwrap() {
+            LpOutcome::Optimal { objective, .. } => objective,
+            _ => return Err(TestCaseError::fail("expected optimal")),
+        };
+        // Halve every upper bound: the optimum cannot increase.
+        let lb: Vec<f64> = vec![0.0; lp.n];
+        let ub: Vec<f64> = lp.ub.iter().map(|u| u / 2.0).collect();
+        if let LpOutcome::Optimal { objective, .. } =
+            Simplex::default().solve_with_bounds(&model, &lb, &ub).unwrap()
+        {
+            prop_assert!(objective <= base + 1e-6,
+                "tightened {objective} > base {base}");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Step-function capacity plan over future time.
+
+use std::collections::BTreeMap;
+
+use crate::Time;
+
+/// Committed capacity over time, stored as a difference map: the value at
+/// time `t` is the prefix sum of deltas at keys `<= t`.
+#[derive(Debug, Clone, Default)]
+pub struct CapacityPlan {
+    deltas: BTreeMap<Time, i64>,
+}
+
+impl CapacityPlan {
+    /// Creates an empty plan (zero committed capacity everywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Commits `k` units over `[start, end)`.
+    pub fn add(&mut self, start: Time, end: Time, k: u32) {
+        if start >= end || k == 0 {
+            return;
+        }
+        *self.deltas.entry(start).or_insert(0) += k as i64;
+        *self.deltas.entry(end).or_insert(0) -= k as i64;
+        self.prune(start);
+        self.prune(end);
+    }
+
+    /// Removes a previously committed `k` units over `[start, end)`.
+    ///
+    /// Callers must only remove what they added; in debug builds a negative
+    /// resulting level trips an assertion in [`CapacityPlan::level_at`].
+    pub fn remove(&mut self, start: Time, end: Time, k: u32) {
+        if start >= end || k == 0 {
+            return;
+        }
+        *self.deltas.entry(start).or_insert(0) -= k as i64;
+        *self.deltas.entry(end).or_insert(0) += k as i64;
+        self.prune(start);
+        self.prune(end);
+    }
+
+    fn prune(&mut self, at: Time) {
+        if self.deltas.get(&at) == Some(&0) {
+            self.deltas.remove(&at);
+        }
+    }
+
+    /// Committed capacity at time `t`.
+    pub fn level_at(&self, t: Time) -> u32 {
+        let level: i64 = self.deltas.range(..=t).map(|(_, d)| d).sum();
+        debug_assert!(level >= 0, "capacity plan went negative at {t}");
+        level.max(0) as u32
+    }
+
+    /// Maximum committed capacity over `[start, end)`.
+    pub fn max_level(&self, start: Time, end: Time) -> u32 {
+        if start >= end {
+            return 0;
+        }
+        let mut max = self.level_at(start);
+        for (&t, _) in self.deltas.range((
+            std::ops::Bound::Excluded(start),
+            std::ops::Bound::Excluded(end),
+        )) {
+            max = max.max(self.level_at(t));
+        }
+        max
+    }
+
+    /// Breakpoints (times where the level changes) within `[start, end)`.
+    pub fn breakpoints(&self, start: Time, end: Time) -> Vec<Time> {
+        self.deltas.range(start..end).map(|(&t, _)| t).collect()
+    }
+
+    /// Whether the plan has no commitments.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query_levels() {
+        let mut p = CapacityPlan::new();
+        p.add(10, 20, 4);
+        p.add(15, 30, 2);
+        assert_eq!(p.level_at(9), 0);
+        assert_eq!(p.level_at(10), 4);
+        assert_eq!(p.level_at(15), 6);
+        assert_eq!(p.level_at(19), 6);
+        assert_eq!(p.level_at(20), 2);
+        assert_eq!(p.level_at(29), 2);
+        assert_eq!(p.level_at(30), 0);
+    }
+
+    #[test]
+    fn max_level_over_interval() {
+        let mut p = CapacityPlan::new();
+        p.add(10, 20, 4);
+        p.add(15, 30, 2);
+        assert_eq!(p.max_level(0, 100), 6);
+        assert_eq!(p.max_level(0, 12), 4);
+        assert_eq!(p.max_level(20, 40), 2);
+        assert_eq!(p.max_level(40, 50), 0);
+        // Half-open: the drop at 20 applies from 20 onward.
+        assert_eq!(p.max_level(20, 21), 2);
+    }
+
+    #[test]
+    fn remove_restores_plan() {
+        let mut p = CapacityPlan::new();
+        p.add(0, 50, 3);
+        p.add(10, 20, 2);
+        p.remove(10, 20, 2);
+        assert_eq!(p.level_at(15), 3);
+        p.remove(0, 50, 3);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn empty_and_degenerate_intervals_ignored() {
+        let mut p = CapacityPlan::new();
+        p.add(10, 10, 5);
+        p.add(20, 10, 5);
+        p.add(10, 20, 0);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn breakpoints_listed() {
+        let mut p = CapacityPlan::new();
+        p.add(10, 20, 1);
+        p.add(15, 25, 1);
+        assert_eq!(p.breakpoints(0, 100), vec![10, 15, 20, 25]);
+        assert_eq!(p.breakpoints(12, 22), vec![15, 20]);
+    }
+
+    #[test]
+    fn overlapping_same_interval_accumulates() {
+        let mut p = CapacityPlan::new();
+        p.add(5, 10, 1);
+        p.add(5, 10, 1);
+        assert_eq!(p.level_at(7), 2);
+        p.remove(5, 10, 1);
+        assert_eq!(p.level_at(7), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for Rayon-like admission control: under arbitrary
+//! request sequences the plan never overcommits, accepted reservations
+//! respect their windows, and releases restore capacity exactly.
+
+use proptest::prelude::*;
+use tetrisched_reservation::ReservationSystem;
+use tetrisched_strl::{Atom, Window};
+
+#[derive(Debug, Clone)]
+struct Req {
+    start: u64,
+    window_len: u64,
+    k: u32,
+    dur: u64,
+    release_early: bool,
+}
+
+fn arb_req() -> impl Strategy<Value = Req> {
+    (0u64..200, 1u64..150, 1u32..8, 1u64..80, prop::bool::ANY).prop_map(
+        |(start, window_len, k, dur, release_early)| Req {
+            start,
+            window_len,
+            k,
+            dur,
+            release_early,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn plan_never_overcommits(
+        capacity in 2u32..12,
+        reqs in proptest::collection::vec(arb_req(), 1..25),
+    ) {
+        let mut rs = ReservationSystem::new(capacity);
+        let mut accepted = Vec::new();
+        for r in &reqs {
+            let w = Window::new(r.start, r.start + r.window_len, Atom::gang(r.k, r.dur));
+            if let Some(res) = rs.request(&w, 0) {
+                // The reservation respects its window.
+                prop_assert!(res.start >= r.start);
+                prop_assert!(res.end <= r.start + r.window_len);
+                prop_assert_eq!(res.end - res.start, r.dur);
+                prop_assert_eq!(res.k, r.k);
+                accepted.push(res);
+            }
+        }
+        // The committed level never exceeds capacity at any breakpoint.
+        for t in 0..400 {
+            prop_assert!(
+                rs.committed_at(t) <= capacity,
+                "overcommit at t={}: {} > {}", t, rs.committed_at(t), capacity
+            );
+        }
+        // Level at each accepted window's midpoint is at least k.
+        for res in &accepted {
+            let mid = (res.start + res.end) / 2;
+            prop_assert!(rs.committed_at(mid) >= res.k);
+        }
+    }
+
+    #[test]
+    fn releases_restore_capacity(
+        capacity in 2u32..10,
+        reqs in proptest::collection::vec(arb_req(), 1..20),
+    ) {
+        let mut rs = ReservationSystem::new(capacity);
+        let mut live = Vec::new();
+        for r in &reqs {
+            let w = Window::new(r.start, r.start + r.window_len, Atom::gang(r.k, r.dur));
+            if let Some(res) = rs.request(&w, 0) {
+                if r.release_early {
+                    prop_assert!(rs.release_from(res.id, res.start));
+                } else {
+                    live.push(res);
+                }
+            }
+        }
+        for res in &live {
+            prop_assert!(rs.cancel(res.id));
+        }
+        // Everything released or cancelled: the plan must be flat zero.
+        prop_assert!(rs.plan().is_empty(), "plan not empty after full release");
+        prop_assert_eq!(rs.live_count(), 0);
+    }
+
+    #[test]
+    fn admission_is_earliest_feasible(
+        capacity in 2u32..8,
+        k in 1u32..4,
+        dur in 5u64..30,
+    ) {
+        // With an empty plan, the earliest feasible start is the window
+        // start (or `now` when later); oversized gangs are rejected.
+        let mut rs = ReservationSystem::new(capacity);
+        let w = Window::new(10, 200, Atom::gang(k, dur));
+        match rs.request(&w, 25) {
+            Some(res) => {
+                prop_assert!(k <= capacity);
+                prop_assert_eq!(res.start, 25);
+            }
+            None => prop_assert!(k > capacity),
+        }
+    }
+}

@@ -1,0 +1,671 @@
+//! The discrete-event simulation engine.
+//!
+//! Drives submissions, scheduler cycles, completions, preemptions, and
+//! reservation admission; collects the paper's evaluation metrics.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use tetrisched_cluster::{AllocHandle, Cluster, Ledger, NodeId, NodeSet};
+use tetrisched_reservation::{Reservation, ReservationSystem};
+use tetrisched_strl::{Atom, JobClass, Window};
+
+use crate::event::{EventKind, EventQueue};
+use crate::job::{JobId, JobOutcome, JobSpec};
+use crate::metrics::Metrics;
+use crate::scheduler::{CycleContext, PendingJob, RunningJob, Scheduler};
+use crate::trace::{TraceEvent, TraceLog};
+use crate::Time;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Scheduler cycle period in simulated seconds (the paper uses 4 s).
+    pub cycle_period: u64,
+    /// Optional hard stop; jobs not terminal by then count as incomplete.
+    pub horizon: Option<Time>,
+    /// Whether to record a full event trace.
+    pub trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cycle_period: 4,
+            horizon: None,
+            trace: false,
+        }
+    }
+}
+
+/// Final report of one simulation run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Aggregate metrics (Sec. 6.3).
+    pub metrics: Metrics,
+    /// Per-job outcomes.
+    pub outcomes: HashMap<JobId, JobOutcome>,
+    /// Per-job assigned classes.
+    pub classes: HashMap<JobId, JobClass>,
+    /// Event trace (empty unless enabled).
+    pub trace: TraceLog,
+    /// Scheduler that produced the run.
+    pub scheduler_name: String,
+    /// Simulated time at which the run ended.
+    pub end_time: Time,
+}
+
+#[derive(Debug, Clone)]
+enum JobState {
+    NotArrived,
+    Pending,
+    Running {
+        started: Time,
+        nodes: Vec<NodeId>,
+        preferred: bool,
+    },
+    Terminal,
+}
+
+#[derive(Debug)]
+struct JobRecord {
+    spec: JobSpec,
+    class: JobClass,
+    reservation: Option<Reservation>,
+    state: JobState,
+    preemptions: u32,
+    generation: u32,
+    outcome: Option<JobOutcome>,
+}
+
+/// The simulator: owns the cluster state, the reservation system, the event
+/// queue, and the scheduler under test.
+pub struct Simulator<S: Scheduler> {
+    cluster: Cluster,
+    scheduler: S,
+    config: SimConfig,
+}
+
+impl<S: Scheduler> Simulator<S> {
+    /// Creates a simulator.
+    pub fn new(cluster: Cluster, scheduler: S, config: SimConfig) -> Self {
+        Simulator {
+            cluster,
+            scheduler,
+            config,
+        }
+    }
+
+    /// Runs the workload to completion (or the horizon) and reports.
+    pub fn run(mut self, jobs: Vec<JobSpec>) -> SimReport {
+        let num_nodes = self.cluster.num_nodes();
+        let mut ledger = Ledger::new(num_nodes);
+        let mut rs = ReservationSystem::new(num_nodes as u32);
+        let mut queue = EventQueue::new();
+        let mut trace = TraceLog::new(self.config.trace);
+        let mut metrics = Metrics::default();
+
+        let mut records: HashMap<JobId, JobRecord> = HashMap::new();
+        let mut pending_order: Vec<JobId> = Vec::new();
+        let mut remaining = jobs.len();
+        for spec in jobs {
+            queue.push(spec.submit, EventKind::Submit { job: spec.id });
+            let id = spec.id;
+            records.insert(
+                id,
+                JobRecord {
+                    spec,
+                    class: JobClass::BestEffort,
+                    reservation: None,
+                    state: JobState::NotArrived,
+                    preemptions: 0,
+                    generation: 0,
+                    outcome: None,
+                },
+            );
+        }
+        queue.push(0, EventKind::CycleTick);
+
+        let mut now: Time = 0;
+        while let Some(ev) = queue.pop() {
+            now = ev.at;
+            if let Some(h) = self.config.horizon {
+                if now > h {
+                    now = h;
+                    break;
+                }
+            }
+            match ev.kind {
+                EventKind::Submit { job } => {
+                    let rec = records.get_mut(&job).expect("unknown job submitted");
+                    // Reservation admission: every SLO job asks Rayon for a
+                    // window [submit, deadline] sized by its *estimate*.
+                    if let Some(deadline) = rec.spec.deadline {
+                        let window = Window::new(
+                            rec.spec.submit,
+                            deadline,
+                            Atom::gang(rec.spec.k, rec.spec.estimated_runtime()),
+                        );
+                        match rs.request(&window, now) {
+                            Some(r) => {
+                                rec.class = JobClass::SloAccepted;
+                                rec.reservation = Some(r);
+                            }
+                            None => rec.class = JobClass::SloNoReservation,
+                        }
+                    } else {
+                        rec.class = JobClass::BestEffort;
+                    }
+                    rec.state = JobState::Pending;
+                    pending_order.push(job);
+                    trace.record(TraceEvent::Submitted {
+                        job,
+                        class: rec.class,
+                        at: now,
+                    });
+                    let view = pending_view(rec);
+                    self.scheduler.on_submit(&view, now);
+                }
+                EventKind::Complete { job, generation } => {
+                    let rec = records.get_mut(&job).expect("unknown job completed");
+                    if rec.generation != generation {
+                        continue; // Stale completion from a preempted run.
+                    }
+                    let JobState::Running {
+                        started,
+                        ref nodes,
+                        preferred,
+                    } = rec.state
+                    else {
+                        continue;
+                    };
+                    metrics.busy_node_seconds += (now - started) * nodes.len() as u64;
+                    ledger.release(AllocHandle(job.0)).expect("ledger release");
+                    if let Some(r) = rec.reservation {
+                        rs.release_from(r.id, now);
+                    }
+                    let met = rec.spec.deadline.map(|d| now <= d);
+                    match (rec.class, met) {
+                        (JobClass::SloAccepted, Some(true)) => metrics.accepted_slo_met += 1,
+                        (JobClass::SloNoReservation, Some(true)) => metrics.nores_slo_met += 1,
+                        (JobClass::BestEffort, _) => {
+                            metrics.be_completed += 1;
+                            metrics.be_latency.push((now - rec.spec.submit) as f64);
+                        }
+                        _ => {}
+                    }
+                    rec.state = JobState::Terminal;
+                    rec.outcome = Some(JobOutcome::Completed { at: now, preferred });
+                    remaining -= 1;
+                    trace.record(TraceEvent::Completed {
+                        job,
+                        met_deadline: met,
+                        at: now,
+                    });
+                    self.scheduler.on_complete(job, now);
+                }
+                EventKind::CycleTick => {
+                    self.run_cycle(
+                        now,
+                        &mut records,
+                        &mut pending_order,
+                        &mut ledger,
+                        &mut queue,
+                        &mut metrics,
+                        &mut trace,
+                        &mut remaining,
+                    );
+                    if remaining > 0 {
+                        queue.push(now + self.config.cycle_period, EventKind::CycleTick);
+                    }
+                }
+            }
+        }
+
+        // Finalize: account for jobs that never became terminal.
+        let mut outcomes = HashMap::new();
+        let mut classes = HashMap::new();
+        for (id, rec) in &mut records {
+            match rec.state {
+                JobState::Running {
+                    started, ref nodes, ..
+                } => {
+                    metrics.busy_node_seconds += now.saturating_sub(started) * nodes.len() as u64;
+                    metrics.incomplete += 1;
+                    rec.outcome = Some(JobOutcome::Incomplete);
+                }
+                JobState::Pending | JobState::NotArrived => {
+                    if rec.outcome.is_none() {
+                        metrics.incomplete += 1;
+                        rec.outcome = Some(JobOutcome::Incomplete);
+                    }
+                }
+                JobState::Terminal => {}
+            }
+            // Class totals cover every job that entered the system.
+            if !matches!(rec.state, JobState::NotArrived) {
+                match rec.class {
+                    JobClass::SloAccepted => metrics.accepted_slo_total += 1,
+                    JobClass::SloNoReservation => metrics.nores_slo_total += 1,
+                    JobClass::BestEffort => metrics.be_total += 1,
+                }
+            }
+            outcomes.insert(*id, rec.outcome.unwrap_or(JobOutcome::Incomplete));
+            classes.insert(*id, rec.class);
+        }
+        metrics.total_node_seconds = num_nodes as u64 * now;
+
+        SimReport {
+            metrics,
+            outcomes,
+            classes,
+            trace,
+            scheduler_name: self.scheduler.name().to_string(),
+            end_time: now,
+        }
+    }
+
+    /// Runs one scheduler cycle and applies its decisions.
+    #[allow(clippy::too_many_arguments)]
+    fn run_cycle(
+        &mut self,
+        now: Time,
+        records: &mut HashMap<JobId, JobRecord>,
+        pending_order: &mut Vec<JobId>,
+        ledger: &mut Ledger,
+        queue: &mut EventQueue,
+        metrics: &mut Metrics,
+        trace: &mut TraceLog,
+        remaining: &mut usize,
+    ) {
+        // Build the scheduler's views.
+        pending_order.retain(|id| matches!(records[id].state, JobState::Pending));
+        let pending: Vec<PendingJob> = pending_order
+            .iter()
+            .map(|id| pending_view(&records[id]))
+            .collect();
+        let mut running: Vec<RunningJob> = Vec::new();
+        for rec in records.values() {
+            if let JobState::Running {
+                started,
+                ref nodes,
+                preferred,
+            } = rec.state
+            {
+                running.push(RunningJob {
+                    id: rec.spec.id,
+                    class: rec.class,
+                    started,
+                    nodes: nodes.clone(),
+                    expected_end: ledger
+                        .expected_end(AllocHandle(rec.spec.id.0))
+                        .unwrap_or(now),
+                    preferred,
+                    deadline: rec.spec.deadline,
+                });
+            }
+        }
+        running.sort_by_key(|r| r.id);
+
+        let wall = Instant::now();
+        let decisions = {
+            let ctx = CycleContext {
+                now,
+                cluster: &self.cluster,
+                ledger,
+                pending: &pending,
+                running: &running,
+            };
+            self.scheduler.cycle(&ctx)
+        };
+        metrics.cycle_latency.push(wall.elapsed().as_secs_f64());
+        metrics
+            .solver_latency
+            .push(decisions.solver_time.as_secs_f64());
+
+        // 1. Preemptions: victims lose all progress and requeue.
+        for job in decisions.preemptions {
+            let rec = records.get_mut(&job).expect("preempting unknown job");
+            let JobState::Running {
+                started, ref nodes, ..
+            } = rec.state
+            else {
+                continue;
+            };
+            metrics.busy_node_seconds += (now - started) * nodes.len() as u64;
+            ledger.release(AllocHandle(job.0)).expect("ledger release");
+            rec.generation += 1;
+            rec.preemptions += 1;
+            rec.state = JobState::Pending;
+            pending_order.push(job);
+            metrics.preemptions += 1;
+            trace.record(TraceEvent::Preempted { job, at: now });
+        }
+
+        // 2. Launches.
+        for launch in decisions.launches {
+            let rec = records.get_mut(&launch.job).expect("launching unknown job");
+            assert!(
+                matches!(rec.state, JobState::Pending),
+                "scheduler launched non-pending job {:?}",
+                launch.job
+            );
+            assert_eq!(
+                launch.nodes.len(),
+                rec.spec.k as usize,
+                "gang size mismatch for {:?}",
+                launch.job
+            );
+            let set = NodeSet::from_ids(self.cluster.num_nodes(), launch.nodes.iter().copied());
+            assert_eq!(
+                set.len(),
+                launch.nodes.len(),
+                "duplicate nodes in launch of {:?}",
+                launch.job
+            );
+            let preferred = rec.spec.placement_preferred(&self.cluster, &launch.nodes);
+            let true_end = now + rec.spec.true_runtime_for(preferred);
+            ledger
+                .allocate(
+                    AllocHandle(launch.job.0),
+                    set,
+                    launch.expected_end.max(now + 1),
+                )
+                .unwrap_or_else(|e| panic!("scheduler double-booked nodes: {e}"));
+            rec.state = JobState::Running {
+                started: now,
+                nodes: launch.nodes.clone(),
+                preferred,
+            };
+            queue.push(
+                true_end,
+                EventKind::Complete {
+                    job: launch.job,
+                    generation: rec.generation,
+                },
+            );
+            trace.record(TraceEvent::Launched {
+                job: launch.job,
+                nodes: launch.nodes,
+                preferred,
+                at: now,
+            });
+        }
+
+        // 3. Estimate revisions for running jobs.
+        for (job, end) in decisions.revised_ends {
+            if matches!(
+                records.get(&job).map(|r| &r.state),
+                Some(JobState::Running { .. })
+            ) {
+                let _ = ledger.set_expected_end(AllocHandle(job.0), end);
+            }
+        }
+
+        // 4. Abandons: pending jobs the scheduler gave up on.
+        for job in decisions.abandons {
+            let rec = records.get_mut(&job).expect("abandoning unknown job");
+            if !matches!(rec.state, JobState::Pending) {
+                continue;
+            }
+            rec.state = JobState::Terminal;
+            rec.outcome = Some(JobOutcome::Abandoned { at: now });
+            metrics.abandoned += 1;
+            *remaining -= 1;
+            trace.record(TraceEvent::Abandoned { job, at: now });
+        }
+    }
+}
+
+fn pending_view(rec: &JobRecord) -> PendingJob {
+    PendingJob {
+        spec: rec.spec.clone(),
+        class: rec.class,
+        reservation: rec.reservation,
+        preemptions: rec.preemptions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobType;
+    use crate::scheduler::{CycleDecisions, Launch};
+
+    /// FIFO-onto-free-nodes scheduler for engine tests.
+    struct Fifo;
+
+    impl Scheduler for Fifo {
+        fn cycle(&mut self, ctx: &CycleContext<'_>) -> CycleDecisions {
+            let mut d = CycleDecisions::default();
+            let mut free: Vec<NodeId> = ctx.ledger.free_nodes().iter().collect();
+            for p in ctx.pending {
+                let k = p.spec.k as usize;
+                if free.len() >= k {
+                    let nodes: Vec<NodeId> = free.drain(..k).collect();
+                    let preferred = p.spec.placement_preferred(ctx.cluster, &nodes);
+                    d.launches.push(Launch {
+                        job: p.spec.id,
+                        nodes,
+                        expected_end: ctx.now + p.spec.estimated_runtime_for(preferred),
+                    });
+                }
+            }
+            d
+        }
+
+        fn name(&self) -> &str {
+            "fifo"
+        }
+    }
+
+    fn be_job(id: u64, submit: Time, k: u32, runtime: u64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            submit,
+            job_type: JobType::Unconstrained,
+            k,
+            base_runtime: runtime,
+            slowdown: 1.0,
+            deadline: None,
+            estimate_error: 0.0,
+        }
+    }
+
+    fn slo_job(id: u64, submit: Time, k: u32, runtime: u64, deadline: Time) -> JobSpec {
+        JobSpec {
+            deadline: Some(deadline),
+            ..be_job(id, submit, k, runtime)
+        }
+    }
+
+    fn run_fifo(jobs: Vec<JobSpec>) -> SimReport {
+        Simulator::new(
+            Cluster::uniform(1, 4, 0),
+            Fifo,
+            SimConfig {
+                trace: true,
+                ..SimConfig::default()
+            },
+        )
+        .run(jobs)
+    }
+
+    #[test]
+    fn single_job_lifecycle() {
+        let report = run_fifo(vec![be_job(0, 0, 2, 40)]);
+        assert_eq!(report.metrics.be_total, 1);
+        assert_eq!(report.metrics.be_completed, 1);
+        // Launched at the t=0 cycle, runs 40s.
+        assert_eq!(
+            report.outcomes[&JobId(0)],
+            JobOutcome::Completed {
+                at: 40,
+                preferred: true
+            }
+        );
+        assert_eq!(report.metrics.be_mean_latency(), 40.0);
+        assert_eq!(report.metrics.busy_node_seconds, 80);
+        assert_eq!(report.end_time, 40);
+    }
+
+    #[test]
+    fn queueing_when_cluster_full() {
+        // Two 3-wide jobs on 4 nodes: the second waits for the first.
+        let report = run_fifo(vec![be_job(0, 0, 3, 40), be_job(1, 0, 3, 40)]);
+        let c0 = report.outcomes[&JobId(0)].completion().unwrap();
+        let c1 = report.outcomes[&JobId(1)].completion().unwrap();
+        assert_eq!(c0, 40);
+        // Job 1 launches at the first cycle tick at/after 40.
+        assert_eq!(c1, 80);
+    }
+
+    #[test]
+    fn slo_classification_via_reservation() {
+        // Cluster capacity 4; two SLO jobs each needing all 4 nodes with a
+        // window wide enough for one only.
+        let jobs = vec![
+            slo_job(0, 0, 4, 50, 60),
+            slo_job(1, 0, 4, 50, 60), // cannot fit after job 0's reservation
+        ];
+        let report = run_fifo(jobs);
+        assert_eq!(report.metrics.accepted_slo_total, 1);
+        assert_eq!(report.metrics.nores_slo_total, 1);
+        assert_eq!(report.classes[&JobId(0)], JobClass::SloAccepted);
+        assert_eq!(report.classes[&JobId(1)], JobClass::SloNoReservation);
+    }
+
+    #[test]
+    fn deadline_attainment_counted() {
+        let jobs = vec![
+            slo_job(0, 0, 2, 20, 100), // easily met
+            slo_job(1, 0, 4, 200, 50), // impossible deadline
+        ];
+        let report = run_fifo(jobs);
+        assert_eq!(report.metrics.accepted_slo_met, 1);
+        assert!(report.metrics.total_slo_attainment() < 100.0);
+    }
+
+    #[test]
+    fn horizon_marks_incomplete() {
+        let report = Simulator::new(
+            Cluster::uniform(1, 4, 0),
+            Fifo,
+            SimConfig {
+                horizon: Some(10),
+                ..SimConfig::default()
+            },
+        )
+        .run(vec![be_job(0, 0, 2, 100)]);
+        assert_eq!(report.outcomes[&JobId(0)], JobOutcome::Incomplete);
+        assert_eq!(report.metrics.incomplete, 1);
+        // Busy time up to the horizon is still accounted.
+        assert_eq!(report.metrics.busy_node_seconds, 20);
+    }
+
+    #[test]
+    fn trace_records_lifecycle() {
+        let report = run_fifo(vec![be_job(0, 0, 1, 10)]);
+        let events = report.trace.for_job(JobId(0));
+        assert!(matches!(events[0], TraceEvent::Submitted { .. }));
+        assert!(matches!(events[1], TraceEvent::Launched { .. }));
+        assert!(matches!(events[2], TraceEvent::Completed { .. }));
+    }
+
+    #[test]
+    fn utilization_is_sane() {
+        let report = run_fifo(vec![be_job(0, 0, 4, 100)]);
+        // 4 nodes busy 100s of a 100s run over 4 nodes: 100%.
+        assert!((report.metrics.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    /// A scheduler that preempts any running best-effort job whenever an
+    /// SLO job is pending, then launches FIFO.
+    struct PreemptingFifo;
+
+    impl Scheduler for PreemptingFifo {
+        fn cycle(&mut self, ctx: &CycleContext<'_>) -> CycleDecisions {
+            let mut d = CycleDecisions::default();
+            let slo_pending = ctx.pending.iter().any(|p| p.class.is_slo());
+            let mut freed = 0usize;
+            if slo_pending {
+                for r in ctx.running {
+                    if !r.class.is_slo() {
+                        d.preemptions.push(r.id);
+                        freed += r.nodes.len();
+                    }
+                }
+            }
+            let mut free: Vec<NodeId> = ctx.ledger.free_nodes().iter().collect();
+            // Nodes freed by preemption this cycle are also usable.
+            for r in ctx.running {
+                if d.preemptions.contains(&r.id) {
+                    free.extend(r.nodes.iter().copied());
+                }
+            }
+            let _ = freed;
+            let mut order: Vec<&PendingJob> = ctx.pending.iter().collect();
+            order.sort_by_key(|p| !p.class.is_slo()); // SLO first
+            for p in order {
+                let k = p.spec.k as usize;
+                if free.len() >= k {
+                    let nodes: Vec<NodeId> = free.drain(..k).collect();
+                    d.launches.push(Launch {
+                        job: p.spec.id,
+                        nodes,
+                        expected_end: ctx.now + p.spec.estimated_runtime(),
+                    });
+                }
+            }
+            d
+        }
+
+        fn name(&self) -> &str {
+            "preempting-fifo"
+        }
+    }
+
+    #[test]
+    fn preemption_requeues_and_restarts() {
+        // BE job takes the whole cluster; an SLO job arrives and preempts.
+        let jobs = vec![be_job(0, 0, 4, 100), slo_job(1, 10, 4, 20, 80)];
+        let report = Simulator::new(
+            Cluster::uniform(1, 4, 0),
+            PreemptingFifo,
+            SimConfig::default(),
+        )
+        .run(jobs);
+        assert_eq!(report.metrics.preemptions, 1);
+        // SLO met.
+        assert_eq!(report.metrics.accepted_slo_met, 1);
+        // BE job restarted after preemption and completed eventually.
+        assert_eq!(report.metrics.be_completed, 1);
+        let be_done = report.outcomes[&JobId(0)].completion().unwrap();
+        let slo_done = report.outcomes[&JobId(1)].completion().unwrap();
+        assert!(slo_done < be_done, "BE restarted after the SLO job");
+        // BE lost its first 12s of progress: completion >= 32 + 100.
+        assert!(be_done >= 120);
+    }
+
+    #[test]
+    fn abandon_terminates_pending_job() {
+        /// Abandons every pending SLO job immediately.
+        struct Abandoner;
+        impl Scheduler for Abandoner {
+            fn cycle(&mut self, ctx: &CycleContext<'_>) -> CycleDecisions {
+                CycleDecisions {
+                    abandons: ctx.pending.iter().map(|p| p.spec.id).collect(),
+                    ..Default::default()
+                }
+            }
+            fn name(&self) -> &str {
+                "abandoner"
+            }
+        }
+        let report = Simulator::new(Cluster::uniform(1, 4, 0), Abandoner, SimConfig::default())
+            .run(vec![slo_job(0, 0, 2, 10, 100)]);
+        assert_eq!(report.metrics.abandoned, 1);
+        assert_eq!(report.outcomes[&JobId(0)], JobOutcome::Abandoned { at: 0 });
+        assert_eq!(report.metrics.accepted_slo_attainment(), 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! The simulator's event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::job::JobId;
+use crate::Time;
+
+/// Kinds of simulation events, in processing-priority order for equal
+/// timestamps: completions free resources before submissions are recorded,
+/// and the scheduler cycle fires last so it sees a settled state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A running job's gang finished. The generation guards against stale
+    /// completions after a preemption restarted the job.
+    Complete {
+        /// Finished job.
+        job: JobId,
+        /// Run generation the completion belongs to.
+        generation: u32,
+    },
+    /// A job arrives in the system.
+    Submit {
+        /// Arriving job.
+        job: JobId,
+    },
+    /// The periodic scheduler cycle.
+    CycleTick,
+}
+
+impl EventKind {
+    fn priority(&self) -> u8 {
+        match self {
+            EventKind::Complete { .. } => 0,
+            EventKind::Submit { .. } => 1,
+            EventKind::CycleTick => 2,
+        }
+    }
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// When the event fires.
+    pub at: Time,
+    /// What happens.
+    pub kind: EventKind,
+    /// Insertion sequence, for fully deterministic ordering.
+    pub seq: u64,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse to pop the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then(other.kind.priority().cmp(&self.kind.priority()))
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic min-priority event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event.
+    pub fn push(&mut self, at: Time, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event { at, kind, seq });
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, EventKind::CycleTick);
+        q.push(10, EventKind::CycleTick);
+        q.push(20, EventKind::CycleTick);
+        assert_eq!(q.pop().unwrap().at, 10);
+        assert_eq!(q.pop().unwrap().at, 20);
+        assert_eq!(q.pop().unwrap().at, 30);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn same_time_orders_by_kind_priority() {
+        let mut q = EventQueue::new();
+        q.push(5, EventKind::CycleTick);
+        q.push(5, EventKind::Submit { job: JobId(1) });
+        q.push(
+            5,
+            EventKind::Complete {
+                job: JobId(2),
+                generation: 0,
+            },
+        );
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Complete { .. }));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Submit { .. }));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::CycleTick));
+    }
+
+    #[test]
+    fn equal_events_order_by_insertion() {
+        let mut q = EventQueue::new();
+        q.push(5, EventKind::Submit { job: JobId(1) });
+        q.push(5, EventKind::Submit { job: JobId(2) });
+        assert!(matches!(
+            q.pop().unwrap().kind,
+            EventKind::Submit { job: JobId(1) }
+        ));
+        assert!(matches!(
+            q.pop().unwrap().kind,
+            EventKind::Submit { job: JobId(2) }
+        ));
+    }
+
+    #[test]
+    fn peek_time() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(7, EventKind::CycleTick);
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.len(), 1);
+    }
+}

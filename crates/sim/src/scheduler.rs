@@ -1,0 +1,153 @@
+//! The scheduler plug-in interface.
+
+use std::time::Duration;
+
+use tetrisched_cluster::{Cluster, Ledger, NodeId};
+use tetrisched_reservation::Reservation;
+use tetrisched_strl::JobClass;
+
+use crate::job::{JobId, JobSpec};
+use crate::Time;
+
+/// A pending job as presented to a scheduler at cycle time.
+#[derive(Debug, Clone)]
+pub struct PendingJob {
+    /// The job's static spec (schedulers must only consult estimates).
+    pub spec: JobSpec,
+    /// Value class assigned at admission (paper Sec. 6.2.2).
+    pub class: JobClass,
+    /// The accepted reservation, when there is one.
+    pub reservation: Option<Reservation>,
+    /// How many times this job has been preempted and requeued.
+    pub preemptions: u32,
+}
+
+/// A running job as presented to a scheduler at cycle time.
+#[derive(Debug, Clone)]
+pub struct RunningJob {
+    /// Job identity.
+    pub id: JobId,
+    /// Value class.
+    pub class: JobClass,
+    /// When the current run started.
+    pub started: Time,
+    /// Nodes held by the gang.
+    pub nodes: Vec<NodeId>,
+    /// The scheduler-visible expected completion time (estimate-derived;
+    /// revisable via [`CycleDecisions::revised_ends`]).
+    pub expected_end: Time,
+    /// Whether the run is on a preferred placement.
+    pub preferred: bool,
+    /// The job's deadline, if any.
+    pub deadline: Option<Time>,
+}
+
+/// Everything a scheduler may observe during one cycle.
+#[derive(Debug)]
+pub struct CycleContext<'a> {
+    /// Current simulated time.
+    pub now: Time,
+    /// Cluster topology.
+    pub cluster: &'a Cluster,
+    /// Current allocations and expected future availability.
+    pub ledger: &'a Ledger,
+    /// Jobs awaiting placement, in submission order.
+    pub pending: &'a [PendingJob],
+    /// Currently running jobs.
+    pub running: &'a [RunningJob],
+}
+
+/// A launch decision: start `job` on `nodes` now.
+#[derive(Debug, Clone)]
+pub struct Launch {
+    /// Job to start.
+    pub job: JobId,
+    /// Concrete gang placement (length must equal the job's `k`).
+    pub nodes: Vec<NodeId>,
+    /// Scheduler's expected completion time, recorded in the ledger and
+    /// used by future plan-ahead queries.
+    pub expected_end: Time,
+}
+
+/// The scheduler's output for one cycle.
+///
+/// The engine applies preemptions first, then launches, then estimate
+/// revisions, then abandons.
+#[derive(Debug, Clone, Default)]
+pub struct CycleDecisions {
+    /// Gangs to start now.
+    pub launches: Vec<Launch>,
+    /// Running jobs to preempt; they lose all progress and return to the
+    /// pending queue.
+    pub preemptions: Vec<JobId>,
+    /// Revised expected completion times for running jobs (estimate bumps
+    /// when an under-estimate is observed, paper Sec. 7.1).
+    pub revised_ends: Vec<(JobId, Time)>,
+    /// Pending jobs the scheduler permanently gives up on (e.g. SLO jobs
+    /// whose deadline can no longer be met).
+    pub abandons: Vec<JobId>,
+    /// Time spent inside the MILP solver this cycle (zero for schedulers
+    /// without one); reported in Fig. 12-style latency metrics.
+    pub solver_time: Duration,
+}
+
+/// A pluggable cluster scheduler.
+///
+/// Implementations: the TetriSched core (all four configurations of
+/// Table 2) and the Rayon/CapacityScheduler baseline.
+pub trait Scheduler {
+    /// Called when a job enters the system (after reservation admission).
+    fn on_submit(&mut self, job: &PendingJob, now: Time) {
+        let _ = (job, now);
+    }
+
+    /// Called when a running job completes.
+    fn on_complete(&mut self, job: JobId, now: Time) {
+        let _ = (job, now);
+    }
+
+    /// Called every scheduling cycle; returns the cycle's decisions.
+    fn cycle(&mut self, ctx: &CycleContext<'_>) -> CycleDecisions;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial scheduler used by engine tests: FIFO onto free nodes.
+    pub struct FifoScheduler;
+
+    impl Scheduler for FifoScheduler {
+        fn cycle(&mut self, ctx: &CycleContext<'_>) -> CycleDecisions {
+            let mut decisions = CycleDecisions::default();
+            let mut free: Vec<NodeId> = ctx.ledger.free_nodes().iter().collect();
+            for p in ctx.pending {
+                let k = p.spec.k as usize;
+                if free.len() >= k {
+                    let nodes: Vec<NodeId> = free.drain(..k).collect();
+                    let preferred = p.spec.placement_preferred(ctx.cluster, &nodes);
+                    decisions.launches.push(Launch {
+                        job: p.spec.id,
+                        nodes,
+                        expected_end: ctx.now + p.spec.estimated_runtime_for(preferred),
+                    });
+                }
+            }
+            decisions
+        }
+
+        fn name(&self) -> &str {
+            "fifo-test"
+        }
+    }
+
+    #[test]
+    fn default_hooks_are_noops() {
+        // Compile-time check that default trait methods exist.
+        let mut s = FifoScheduler;
+        s.on_complete(JobId(0), 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Simulation event tracing, for debugging and experiment forensics.
+
+use tetrisched_cluster::NodeId;
+use tetrisched_strl::JobClass;
+
+use crate::job::JobId;
+use crate::Time;
+
+/// One recorded simulation event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A job was submitted and classified.
+    Submitted {
+        /// Job identity.
+        job: JobId,
+        /// Assigned value class.
+        class: JobClass,
+        /// Event time.
+        at: Time,
+    },
+    /// A gang was launched.
+    Launched {
+        /// Job identity.
+        job: JobId,
+        /// Placement.
+        nodes: Vec<NodeId>,
+        /// Whether the placement is preferred.
+        preferred: bool,
+        /// Event time.
+        at: Time,
+    },
+    /// A job completed.
+    Completed {
+        /// Job identity.
+        job: JobId,
+        /// Whether the deadline (if any) was met.
+        met_deadline: Option<bool>,
+        /// Event time.
+        at: Time,
+    },
+    /// A running job was preempted and requeued.
+    Preempted {
+        /// Job identity.
+        job: JobId,
+        /// Event time.
+        at: Time,
+    },
+    /// The scheduler abandoned a pending job.
+    Abandoned {
+        /// Job identity.
+        job: JobId,
+        /// Event time.
+        at: Time,
+    },
+}
+
+impl TraceEvent {
+    /// Event timestamp.
+    pub fn at(&self) -> Time {
+        match self {
+            TraceEvent::Submitted { at, .. }
+            | TraceEvent::Launched { at, .. }
+            | TraceEvent::Completed { at, .. }
+            | TraceEvent::Preempted { at, .. }
+            | TraceEvent::Abandoned { at, .. } => *at,
+        }
+    }
+
+    /// The job the event concerns.
+    pub fn job(&self) -> JobId {
+        match self {
+            TraceEvent::Submitted { job, .. }
+            | TraceEvent::Launched { job, .. }
+            | TraceEvent::Completed { job, .. }
+            | TraceEvent::Preempted { job, .. }
+            | TraceEvent::Abandoned { job, .. } => *job,
+        }
+    }
+}
+
+/// An append-only log of trace events; disabled by default in experiments.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// Creates a log; when `enabled` is false, records are dropped.
+    pub fn new(enabled: bool) -> Self {
+        TraceLog {
+            enabled,
+            events: Vec::new(),
+        }
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, e: TraceEvent) {
+        if self.enabled {
+            self.events.push(e);
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events concerning one job, in order.
+    pub fn for_job(&self, job: JobId) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.job() == job).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_drops_events() {
+        let mut log = TraceLog::new(false);
+        log.record(TraceEvent::Abandoned {
+            job: JobId(1),
+            at: 5,
+        });
+        assert!(log.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_log_records_in_order() {
+        let mut log = TraceLog::new(true);
+        log.record(TraceEvent::Submitted {
+            job: JobId(1),
+            class: JobClass::BestEffort,
+            at: 0,
+        });
+        log.record(TraceEvent::Launched {
+            job: JobId(1),
+            nodes: vec![NodeId(0)],
+            preferred: true,
+            at: 4,
+        });
+        log.record(TraceEvent::Completed {
+            job: JobId(1),
+            met_deadline: None,
+            at: 10,
+        });
+        assert_eq!(log.events().len(), 3);
+        assert_eq!(log.for_job(JobId(1)).len(), 3);
+        assert_eq!(log.events()[1].at(), 4);
+        assert_eq!(log.events()[2].job(), JobId(1));
+    }
+}

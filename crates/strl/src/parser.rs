@@ -1,0 +1,353 @@
+//! Text parser for STRL expressions.
+//!
+//! Accepts the same syntax [`StrlExpr`]'s `Display` implementation emits
+//! (the paper's notation), e.g.:
+//!
+//! ```text
+//! max(nCk({M0, M1}, k=2, s=0, dur=2, v=4),
+//!     nCk({M0, M1, M2, M3}, k=2, s=0, dur=3, v=3))
+//! ```
+//!
+//! The parser needs the node-universe size to build [`NodeSet`]s.
+
+use std::fmt;
+
+use tetrisched_cluster::{NodeId, NodeSet};
+
+use crate::expr::StrlExpr;
+
+/// A parse failure with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the failure occurred.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a STRL expression over a universe of `universe` nodes.
+pub fn parse(input: &str, universe: usize) -> Result<StrlExpr, ParseError> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+        universe,
+    };
+    let e = p.expr()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(e)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    universe: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_alphabetic() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .expect("ascii")
+            .to_string())
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.pos < self.input.len()
+            && (self.input[self.pos].is_ascii_digit()
+                || self.input[self.pos] == b'.'
+                || self.input[self.pos] == b'e'
+                || (self.pos > start
+                    && self.input[self.pos] == b'-'
+                    && self.input[self.pos - 1] == b'e'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map_err(|_| self.err(format!("bad number `{text}`")))
+    }
+
+    fn uint(&mut self) -> Result<u64, ParseError> {
+        let n = self.number()?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(self.err(format!("expected nonnegative integer, got {n}")));
+        }
+        Ok(n as u64)
+    }
+
+    fn key_number(&mut self, key: &str) -> Result<f64, ParseError> {
+        let id = self.ident()?;
+        if id != key {
+            return Err(self.err(format!("expected `{key}=`, got `{id}`")));
+        }
+        self.expect(b'=')?;
+        self.number()
+    }
+
+    fn key_uint(&mut self, key: &str) -> Result<u64, ParseError> {
+        let id = self.ident()?;
+        if id != key {
+            return Err(self.err(format!("expected `{key}=`, got `{id}`")));
+        }
+        self.expect(b'=')?;
+        self.uint()
+    }
+
+    fn nodeset(&mut self) -> Result<NodeSet, ParseError> {
+        self.expect(b'{')?;
+        let mut set = NodeSet::empty(self.universe);
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(set);
+        }
+        loop {
+            let id = self.ident()?;
+            let Some(num) = id.strip_prefix('M') else {
+                return Err(self.err(format!("expected node id `M<n>`, got `{id}`")));
+            };
+            // `ident` consumes letters only; digits follow.
+            let digits_start = self.pos;
+            while self.pos < self.input.len() && self.input[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+            let digits = std::str::from_utf8(&self.input[digits_start..self.pos]).expect("ascii");
+            let full = format!("{num}{digits}");
+            let n: u32 = full
+                .parse()
+                .map_err(|_| self.err(format!("bad node id `M{full}`")))?;
+            if n as usize >= self.universe {
+                return Err(self.err(format!(
+                    "node M{n} outside universe of {} nodes",
+                    self.universe
+                )));
+            }
+            set.insert(NodeId(n));
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(set);
+                }
+                _ => return Err(self.err("expected `,` or `}` in node set")),
+            }
+        }
+    }
+
+    fn expr_list(&mut self) -> Result<Vec<StrlExpr>, ParseError> {
+        let mut out = Vec::new();
+        if self.peek() == Some(b')') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.expr()?);
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b')') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(self.err("expected `,` or `)` in argument list")),
+            }
+        }
+    }
+
+    fn leaf_args(&mut self) -> Result<(NodeSet, u32, u64, u64, f64), ParseError> {
+        self.expect(b'(')?;
+        let set = self.nodeset()?;
+        self.expect(b',')?;
+        let k = self.key_uint("k")? as u32;
+        self.expect(b',')?;
+        let s = self.key_uint("s")?;
+        self.expect(b',')?;
+        let dur = self.key_uint("dur")?;
+        self.expect(b',')?;
+        let v = self.key_number("v")?;
+        self.expect(b')')?;
+        Ok((set, k, s, dur, v))
+    }
+
+    fn expr(&mut self) -> Result<StrlExpr, ParseError> {
+        let id = self.ident()?;
+        match id.as_str() {
+            "nCk" => {
+                let (set, k, s, dur, v) = self.leaf_args()?;
+                Ok(StrlExpr::nck(set, k, s, dur, v))
+            }
+            "LnCk" => {
+                let (set, k, s, dur, v) = self.leaf_args()?;
+                Ok(StrlExpr::lnck(set, k, s, dur, v))
+            }
+            "max" => {
+                self.expect(b'(')?;
+                Ok(StrlExpr::Max(self.expr_list()?))
+            }
+            "min" => {
+                self.expect(b'(')?;
+                Ok(StrlExpr::Min(self.expr_list()?))
+            }
+            "sum" => {
+                self.expect(b'(')?;
+                Ok(StrlExpr::Sum(self.expr_list()?))
+            }
+            "scale" => {
+                self.expect(b'(')?;
+                let factor = self.number()?;
+                self.expect(b',')?;
+                let child = self.expr()?;
+                self.expect(b')')?;
+                Ok(StrlExpr::scale(factor, child))
+            }
+            "barrier" => {
+                self.expect(b'(')?;
+                let value = self.number()?;
+                self.expect(b',')?;
+                let child = self.expr()?;
+                self.expect(b')')?;
+                Ok(StrlExpr::barrier(value, child))
+            }
+            other => Err(self.err(format!("unknown operator `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_leaf() {
+        let e = parse("nCk({M1, M2}, k=2, s=0, dur=2, v=4)", 8).unwrap();
+        match e {
+            StrlExpr::NCk {
+                set,
+                k,
+                start,
+                dur,
+                value,
+            } => {
+                assert_eq!(set.take(8), vec![NodeId(1), NodeId(2)]);
+                assert_eq!((k, start, dur), (2, 0, 2));
+                assert_eq!(value, 4.0);
+            }
+            other => panic!("wrong node: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_fig3_soft_constraint() {
+        let text = "max(nCk({M0, M1}, k=2, s=0, dur=2, v=4), \
+                    nCk({M0, M1, M2, M3}, k=2, s=0, dur=3, v=3))";
+        let e = parse(text, 4).unwrap();
+        assert_eq!(e.leaf_count(), 2);
+        assert_eq!(e.value_upper_bound(), 4.0);
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let text =
+            "sum(max(nCk({M0, M1}, k=2, s=0, dur=2, v=4), LnCk({M2}, k=1, s=1, dur=3, v=2.5)), \
+                    min(nCk({M0}, k=1, s=0, dur=3, v=1), nCk({M2, M3}, k=1, s=0, dur=3, v=1)), \
+                    scale(2.5, barrier(1, nCk({M3}, k=1, s=2, dur=1, v=1))))";
+        let e = parse(text, 4).unwrap();
+        let printed = e.to_string();
+        let reparsed = parse(&printed, 4).unwrap();
+        assert_eq!(e, reparsed);
+    }
+
+    #[test]
+    fn empty_nodeset_parses() {
+        let e = parse("nCk({}, k=0, s=0, dur=1, v=1)", 4).unwrap();
+        assert!(matches!(e, StrlExpr::NCk { ref set, .. } if set.is_empty()));
+    }
+
+    #[test]
+    fn rejects_out_of_universe_node() {
+        let err = parse("nCk({M9}, k=1, s=0, dur=1, v=1)", 4).unwrap_err();
+        assert!(err.message.contains("outside universe"));
+    }
+
+    #[test]
+    fn rejects_unknown_operator() {
+        let err = parse("frob(1, 2)", 4).unwrap_err();
+        assert!(err.message.contains("unknown operator"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = parse("max() extra", 4).unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_negative_duration() {
+        let err = parse("nCk({M0}, k=1, s=0, dur=-2, v=1)", 4).unwrap_err();
+        assert!(err.message.contains("nonnegative"));
+    }
+
+    #[test]
+    fn scientific_notation_value() {
+        let e = parse("nCk({M0}, k=1, s=0, dur=1, v=2.5e-1)", 4).unwrap();
+        assert!(matches!(e, StrlExpr::NCk { value, .. } if (value - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let e = parse("  max (\n nCk( {M0} , k=1, s=0, dur=1, v=1 ) )  ", 4).unwrap();
+        assert_eq!(e.leaf_count(), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! The Table 1 workload compositions.
+
+/// Fractions describing a workload mixture (Table 1). `slo` + `be` = 1;
+/// the type fractions partition the SLO jobs (best-effort jobs are
+/// unconstrained, Sec. 6.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Composition {
+    /// Fraction of SLO (deadline-bearing) jobs.
+    pub slo: f64,
+    /// Fraction of best-effort jobs.
+    pub be: f64,
+    /// Fraction of SLO jobs with no placement preference.
+    pub unconstrained: f64,
+    /// Fraction of SLO jobs preferring GPU nodes.
+    pub gpu: f64,
+    /// Fraction of SLO jobs preferring rack locality (MPI).
+    pub mpi: f64,
+    /// Fraction of SLO jobs preferring anti-affine spread (availability
+    /// services; an extension beyond Table 1, zero in the paper's rows).
+    pub avail: f64,
+}
+
+impl Composition {
+    /// Validates that the fractions form two distributions.
+    pub fn validate(&self) -> bool {
+        (self.slo + self.be - 1.0).abs() < 1e-9
+            && (self.unconstrained + self.gpu + self.mpi + self.avail - 1.0).abs() < 1e-9
+            && [
+                self.slo,
+                self.be,
+                self.unconstrained,
+                self.gpu,
+                self.mpi,
+                self.avail,
+            ]
+            .iter()
+            .all(|&f| (0.0..=1.0).contains(&f))
+    }
+}
+
+/// The four workloads of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Production-derived, SLO jobs only (fb2009_2), RC256.
+    GrSlo,
+    /// Production-derived SLO + BE mixture (fb2009_2 + yahoo_1), RC256.
+    GrMix,
+    /// Synthetic homogeneous SLO + BE mixture, RC80.
+    GsMix,
+    /// Synthetic heterogeneous SLO (GPU + MPI) + unconstrained BE, RC80.
+    GsHet,
+    /// Extension: heterogeneous SLO mix including anti-affine availability
+    /// services (not in the paper's Table 1).
+    GsAvail,
+}
+
+impl Workload {
+    /// The Table 1 row for this workload.
+    pub fn composition(self) -> Composition {
+        match self {
+            Workload::GrSlo => Composition {
+                slo: 1.0,
+                be: 0.0,
+                unconstrained: 1.0,
+                gpu: 0.0,
+                mpi: 0.0,
+                avail: 0.0,
+            },
+            Workload::GrMix => Composition {
+                slo: 0.52,
+                be: 0.48,
+                unconstrained: 1.0,
+                gpu: 0.0,
+                mpi: 0.0,
+                avail: 0.0,
+            },
+            Workload::GsMix => Composition {
+                slo: 0.70,
+                be: 0.30,
+                unconstrained: 1.0,
+                gpu: 0.0,
+                mpi: 0.0,
+                avail: 0.0,
+            },
+            Workload::GsHet => Composition {
+                slo: 0.75,
+                be: 0.25,
+                unconstrained: 0.0,
+                gpu: 0.5,
+                mpi: 0.5,
+                avail: 0.0,
+            },
+            Workload::GsAvail => Composition {
+                slo: 0.75,
+                be: 0.25,
+                unconstrained: 0.2,
+                gpu: 0.3,
+                mpi: 0.3,
+                avail: 0.2,
+            },
+        }
+    }
+
+    /// Workload name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::GrSlo => "GR SLO",
+            Workload::GrMix => "GR MIX",
+            Workload::GsMix => "GS MIX",
+            Workload::GsHet => "GS HET",
+            Workload::GsAvail => "GS AVAIL (ext)",
+        }
+    }
+
+    /// Whether this workload uses the production-derived (SWIM) classes.
+    pub fn is_production_derived(self) -> bool {
+        matches!(self, Workload::GrSlo | Workload::GrMix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rows_validate() {
+        for w in [
+            Workload::GrSlo,
+            Workload::GrMix,
+            Workload::GsMix,
+            Workload::GsHet,
+            Workload::GsAvail,
+        ] {
+            assert!(w.composition().validate(), "{} invalid", w.name());
+        }
+    }
+
+    #[test]
+    fn table1_values() {
+        let c = Workload::GrMix.composition();
+        assert_eq!(c.slo, 0.52);
+        assert_eq!(c.be, 0.48);
+        let h = Workload::GsHet.composition();
+        assert_eq!(h.gpu, 0.5);
+        assert_eq!(h.mpi, 0.5);
+        assert_eq!(h.unconstrained, 0.0);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Workload::GrSlo.name(), "GR SLO");
+        assert_eq!(Workload::GsHet.name(), "GS HET");
+    }
+}

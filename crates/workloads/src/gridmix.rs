@@ -1,0 +1,289 @@
+//! The Gridmix-style workload builder.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use tetrisched_sim::{JobId, JobSpec, JobType};
+
+use crate::compositions::Workload;
+use crate::distributions::Sample;
+use crate::swim::JobClassParams;
+
+/// Workload-generation parameters.
+#[derive(Debug, Clone)]
+pub struct GridmixConfig {
+    /// RNG seed; runs are bit-reproducible under the same seed.
+    pub seed: u64,
+    /// Number of jobs to generate.
+    pub num_jobs: usize,
+    /// Cluster size the load is calibrated against.
+    pub cluster_size: usize,
+    /// Target offered load as a fraction of cluster capacity (the paper
+    /// runs near 1.0).
+    pub target_utilization: f64,
+    /// Runtime estimate error applied to every job (the Fig. 6–10 x-axis).
+    pub estimate_error: f64,
+    /// Per-job estimate-error jitter: each job's error is additionally
+    /// perturbed by a uniform draw from `[-jitter, +jitter]`, modelling
+    /// heterogeneous prediction quality across jobs (an extension knob;
+    /// the paper sweeps a uniform error, i.e. jitter 0).
+    pub error_jitter: f64,
+    /// Slowdown multiplier for GPU/MPI jobs on non-preferred placements
+    /// (Fig. 1 uses 3/2 = 1.5).
+    pub slowdown: f64,
+}
+
+impl Default for GridmixConfig {
+    fn default() -> Self {
+        GridmixConfig {
+            seed: 1,
+            num_jobs: 100,
+            cluster_size: 80,
+            target_utilization: 1.0,
+            estimate_error: 0.0,
+            error_jitter: 0.0,
+            slowdown: 1.5,
+        }
+    }
+}
+
+/// Generates job streams for the Table 1 workloads.
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    config: GridmixConfig,
+}
+
+impl WorkloadBuilder {
+    /// Creates a builder.
+    pub fn new(config: GridmixConfig) -> Self {
+        WorkloadBuilder { config }
+    }
+
+    /// Generates the job stream for a Table 1 workload.
+    pub fn generate(&self, workload: Workload) -> Vec<JobSpec> {
+        let cfg = &self.config;
+        let comp = workload.composition();
+        let (slo_params, be_params) = if workload.is_production_derived() {
+            (
+                JobClassParams::fb2009_2(cfg.cluster_size),
+                JobClassParams::yahoo_1(cfg.cluster_size),
+            )
+        } else {
+            (
+                JobClassParams::synthetic(cfg.cluster_size),
+                JobClassParams::synthetic(cfg.cluster_size),
+            )
+        };
+
+        // Calibrate the arrival rate so offered load ~= target utilization:
+        // lambda = target * capacity / E[k * runtime] over the mixture.
+        let mut calib = StdRng::seed_from_u64(cfg.seed ^ 0xC0FFEE);
+        let mean_work = {
+            let n = 4000;
+            let mut total = 0.0;
+            for _ in 0..n {
+                let slo = calib.random::<f64>() < comp.slo;
+                let p = if slo { &slo_params } else { &be_params };
+                total += p.k_dist.sample(&mut calib) * p.runtime_dist.sample(&mut calib);
+            }
+            total / n as f64
+        };
+        let lambda = cfg.target_utilization * cfg.cluster_size as f64 / mean_work.max(1.0);
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut jobs = Vec::with_capacity(cfg.num_jobs);
+        let mut t = 0.0f64;
+        for i in 0..cfg.num_jobs {
+            // Exponential inter-arrivals (Poisson arrivals).
+            let u: f64 = rng.random();
+            t += -(1.0 - u).ln() / lambda;
+            let submit = t.round() as u64;
+
+            let is_slo = rng.random::<f64>() < comp.slo;
+            let params = if is_slo { &slo_params } else { &be_params };
+            let k = params.k_dist.sample(&mut rng).round().max(1.0) as u32;
+            let base_runtime = params.runtime_dist.sample(&mut rng).round().max(1.0) as u64;
+
+            let job_type = if is_slo {
+                let x: f64 = rng.random();
+                if x < comp.unconstrained {
+                    JobType::Unconstrained
+                } else if x < comp.unconstrained + comp.gpu {
+                    JobType::Gpu
+                } else if x < comp.unconstrained + comp.gpu + comp.mpi {
+                    JobType::Mpi
+                } else {
+                    JobType::Availability
+                }
+            } else {
+                JobType::Unconstrained
+            };
+
+            let deadline = if is_slo {
+                let slack =
+                    params.slack_min + rng.random::<f64>() * (params.slack_max - params.slack_min);
+                Some(submit + (base_runtime as f64 * slack).round() as u64)
+            } else {
+                None
+            };
+
+            let slowdown = match job_type {
+                JobType::Unconstrained => 1.0,
+                _ => cfg.slowdown,
+            };
+
+            let jitter = if cfg.error_jitter > 0.0 {
+                (rng.random::<f64>() * 2.0 - 1.0) * cfg.error_jitter
+            } else {
+                0.0
+            };
+            jobs.push(JobSpec {
+                id: JobId(i as u64),
+                submit,
+                job_type,
+                k,
+                base_runtime,
+                slowdown,
+                deadline,
+                estimate_error: (cfg.estimate_error + jitter).max(-0.95),
+            });
+        }
+        jobs
+    }
+
+    /// The same workload re-issued with a different estimate error — the
+    /// sweep axis of Figs. 6–10 (jobs and arrivals are identical; only the
+    /// estimates move).
+    pub fn with_estimate_error(&self, workload: Workload, error: f64) -> Vec<JobSpec> {
+        let mut jobs = WorkloadBuilder::new(GridmixConfig {
+            estimate_error: 0.0,
+            ..self.config.clone()
+        })
+        .generate(workload);
+        for j in &mut jobs {
+            j.estimate_error = error;
+        }
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builder(seed: u64) -> WorkloadBuilder {
+        WorkloadBuilder::new(GridmixConfig {
+            seed,
+            num_jobs: 400,
+            cluster_size: 80,
+            ..GridmixConfig::default()
+        })
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = builder(9).generate(Workload::GsHet);
+        let b = builder(9).generate(Workload::GsHet);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.submit, y.submit);
+            assert_eq!(x.k, y.k);
+            assert_eq!(x.base_runtime, y.base_runtime);
+            assert_eq!(x.deadline, y.deadline);
+        }
+    }
+
+    #[test]
+    fn composition_fractions_hold() {
+        let jobs = builder(3).generate(Workload::GrMix);
+        let slo = jobs.iter().filter(|j| j.deadline.is_some()).count();
+        let frac = slo as f64 / jobs.len() as f64;
+        assert!((frac - 0.52).abs() < 0.08, "SLO fraction {frac}");
+        assert!(jobs.iter().all(|j| j.job_type == JobType::Unconstrained));
+    }
+
+    #[test]
+    fn het_workload_types_partition_slo_jobs() {
+        let jobs = builder(4).generate(Workload::GsHet);
+        let slo: Vec<_> = jobs.iter().filter(|j| j.deadline.is_some()).collect();
+        let gpu = slo.iter().filter(|j| j.job_type == JobType::Gpu).count();
+        let mpi = slo.iter().filter(|j| j.job_type == JobType::Mpi).count();
+        assert_eq!(gpu + mpi, slo.len(), "all SLO jobs typed");
+        let frac = gpu as f64 / slo.len() as f64;
+        assert!((frac - 0.5).abs() < 0.1, "gpu fraction {frac}");
+        // Best-effort jobs stay unconstrained with no slowdown.
+        for j in jobs.iter().filter(|j| j.deadline.is_none()) {
+            assert_eq!(j.job_type, JobType::Unconstrained);
+            assert_eq!(j.slowdown, 1.0);
+        }
+    }
+
+    #[test]
+    fn offered_load_tracks_target() {
+        let jobs = builder(5).generate(Workload::GsMix);
+        let span = jobs.iter().map(|j| j.submit).max().unwrap() as f64;
+        let work: f64 = jobs
+            .iter()
+            .map(|j| j.k as f64 * j.base_runtime as f64)
+            .sum();
+        let offered = work / (span * 80.0);
+        assert!(
+            (0.7..=1.4).contains(&offered),
+            "offered load {offered} far from 1.0"
+        );
+    }
+
+    #[test]
+    fn deadlines_allow_the_base_runtime() {
+        let jobs = builder(6).generate(Workload::GrSlo);
+        for j in &jobs {
+            let d = j.deadline.expect("GR SLO is all-SLO");
+            assert!(d >= j.submit + 2 * j.base_runtime, "slack >= 2x");
+        }
+    }
+
+    #[test]
+    fn error_jitter_perturbs_per_job() {
+        let jobs = WorkloadBuilder::new(GridmixConfig {
+            seed: 8,
+            num_jobs: 100,
+            cluster_size: 80,
+            estimate_error: 0.2,
+            error_jitter: 0.1,
+            ..GridmixConfig::default()
+        })
+        .generate(Workload::GsMix);
+        let errors: Vec<f64> = jobs.iter().map(|j| j.estimate_error).collect();
+        assert!(errors.iter().all(|e| (0.1..=0.3).contains(e)));
+        // Not all identical.
+        assert!(errors.iter().any(|e| (e - errors[0]).abs() > 1e-6));
+    }
+
+    #[test]
+    fn jitter_never_drops_below_floor() {
+        let jobs = WorkloadBuilder::new(GridmixConfig {
+            seed: 8,
+            num_jobs: 50,
+            cluster_size: 80,
+            estimate_error: -0.9,
+            error_jitter: 0.2,
+            ..GridmixConfig::default()
+        })
+        .generate(Workload::GsMix);
+        assert!(jobs.iter().all(|j| j.estimate_error >= -0.95));
+        assert!(jobs.iter().all(|j| j.estimated_runtime() >= 1));
+    }
+
+    #[test]
+    fn estimate_error_sweep_only_moves_estimates() {
+        let b = builder(7);
+        let base = b.with_estimate_error(Workload::GsMix, 0.0);
+        let over = b.with_estimate_error(Workload::GsMix, 0.5);
+        for (x, y) in base.iter().zip(&over) {
+            assert_eq!(x.base_runtime, y.base_runtime);
+            assert_eq!(x.submit, y.submit);
+            assert_eq!(y.estimate_error, 0.5);
+            assert_eq!(y.estimated_runtime(), (x.base_runtime * 3).div_ceil(2));
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Workload trace import/export.
+//!
+//! Generated job streams can be saved to a simple CSV format and reloaded,
+//! so an experiment's exact workload can be shared and replayed without the
+//! generator (the paper's gridmix inputs served the same role). The format
+//! is one header line followed by one line per job:
+//!
+//! ```text
+//! id,submit,type,k,base_runtime,slowdown,deadline,estimate_error
+//! 0,12,gpu,4,120,1.5,600,0.2
+//! 1,15,unconstrained,2,60,1.0,,0.2
+//! ```
+//!
+//! An empty `deadline` field means best-effort. The parser is strict:
+//! malformed lines are reported with their line number.
+
+use std::fmt::Write as _;
+
+use tetrisched_sim::{JobId, JobSpec, JobType};
+
+/// A parse failure with line information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceError {
+    /// 1-based line number (line 1 is the header).
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+const HEADER: &str = "id,submit,type,k,base_runtime,slowdown,deadline,estimate_error";
+
+fn type_name(t: JobType) -> &'static str {
+    match t {
+        JobType::Unconstrained => "unconstrained",
+        JobType::Gpu => "gpu",
+        JobType::Mpi => "mpi",
+        JobType::Availability => "availability",
+    }
+}
+
+fn parse_type(s: &str) -> Option<JobType> {
+    match s {
+        "unconstrained" => Some(JobType::Unconstrained),
+        "gpu" => Some(JobType::Gpu),
+        "mpi" => Some(JobType::Mpi),
+        "availability" => Some(JobType::Availability),
+        _ => None,
+    }
+}
+
+/// Serializes a job stream to the CSV trace format.
+pub fn to_csv(jobs: &[JobSpec]) -> String {
+    let mut out = String::with_capacity(64 * (jobs.len() + 1));
+    out.push_str(HEADER);
+    out.push('\n');
+    for j in jobs {
+        let deadline = j.deadline.map(|d| d.to_string()).unwrap_or_default();
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            j.id.0,
+            j.submit,
+            type_name(j.job_type),
+            j.k,
+            j.base_runtime,
+            j.slowdown,
+            deadline,
+            j.estimate_error
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+/// Parses a CSV trace back into a job stream.
+pub fn from_csv(text: &str) -> Result<Vec<JobSpec>, TraceError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        Some((_, h)) => {
+            return Err(TraceError {
+                line: 1,
+                message: format!("bad header `{h}`"),
+            })
+        }
+        None => {
+            return Err(TraceError {
+                line: 1,
+                message: "empty trace".into(),
+            })
+        }
+    }
+    let mut jobs = Vec::new();
+    for (ix, line) in lines {
+        let lineno = ix + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 8 {
+            return Err(TraceError {
+                line: lineno,
+                message: format!("expected 8 fields, got {}", fields.len()),
+            });
+        }
+        let err = |what: &str| TraceError {
+            line: lineno,
+            message: format!("bad {what}"),
+        };
+        let job_type = parse_type(fields[2]).ok_or_else(|| err("job type"))?;
+        let deadline = if fields[6].is_empty() {
+            None
+        } else {
+            Some(fields[6].parse().map_err(|_| err("deadline"))?)
+        };
+        jobs.push(JobSpec {
+            id: JobId(fields[0].parse().map_err(|_| err("id"))?),
+            submit: fields[1].parse().map_err(|_| err("submit"))?,
+            job_type,
+            k: fields[3].parse().map_err(|_| err("k"))?,
+            base_runtime: fields[4].parse().map_err(|_| err("base_runtime"))?,
+            slowdown: fields[5].parse().map_err(|_| err("slowdown"))?,
+            deadline,
+            estimate_error: fields[7].parse().map_err(|_| err("estimate_error"))?,
+        });
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GridmixConfig, Workload, WorkloadBuilder};
+
+    #[test]
+    fn roundtrip_generated_workload() {
+        let jobs = WorkloadBuilder::new(GridmixConfig {
+            seed: 5,
+            num_jobs: 60,
+            cluster_size: 40,
+            ..GridmixConfig::default()
+        })
+        .generate(Workload::GsHet);
+        let csv = to_csv(&jobs);
+        let back = from_csv(&csv).expect("roundtrip parse");
+        assert_eq!(jobs.len(), back.len());
+        for (a, b) in jobs.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.submit, b.submit);
+            assert_eq!(a.job_type, b.job_type);
+            assert_eq!(a.k, b.k);
+            assert_eq!(a.base_runtime, b.base_runtime);
+            assert_eq!(a.slowdown, b.slowdown);
+            assert_eq!(a.deadline, b.deadline);
+            assert_eq!(a.estimate_error, b.estimate_error);
+        }
+    }
+
+    #[test]
+    fn best_effort_deadline_is_empty_field() {
+        let jobs = vec![JobSpec {
+            id: JobId(3),
+            submit: 7,
+            job_type: JobType::Availability,
+            k: 2,
+            base_runtime: 50,
+            slowdown: 1.5,
+            deadline: None,
+            estimate_error: -0.25,
+        }];
+        let csv = to_csv(&jobs);
+        assert!(csv.contains("3,7,availability,2,50,1.5,,-0.25"));
+        assert_eq!(from_csv(&csv).unwrap()[0].deadline, None);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let e = from_csv("nope\n1,2,gpu,1,1,1.0,,0").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("bad header"));
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        let text = format!("{HEADER}\n1,2,gpu,1,1\n");
+        let e = from_csv(&text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("8 fields"));
+    }
+
+    #[test]
+    fn rejects_unknown_type() {
+        let text = format!("{HEADER}\n1,2,quantum,1,1,1.0,,0\n");
+        let e = from_csv(&text).unwrap_err();
+        assert!(e.message.contains("job type"));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let text = format!("{HEADER}\n\n1,2,gpu,1,10,1.5,99,0.1\n\n");
+        let jobs = from_csv(&text).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].deadline, Some(99));
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        assert!(from_csv("").is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! SWIM-derived job class parameters.
+//!
+//! The paper selects two SWIM job classes "with sizes that fit on our RC256
+//! cluster" (Sec. 6.4): `fb2009_2` — a Facebook-2009-derived production
+//! class used for SLO jobs — and `yahoo_1` — a Yahoo-derived class used for
+//! best-effort jobs. The published SWIM characterizations shape these
+//! parameters: production jobs are larger and longer with heavy-tailed
+//! sizes; ad hoc jobs are small and short.
+
+use crate::distributions::{Empirical, LogNormal};
+
+/// Parameter distributions for one job class.
+#[derive(Debug, Clone)]
+pub struct JobClassParams {
+    /// Class name, for reports.
+    pub name: &'static str,
+    /// Gang-width distribution (values are node counts).
+    pub k_dist: Empirical,
+    /// True base-runtime distribution, seconds.
+    pub runtime_dist: LogNormal,
+    /// Deadline slack range: the deadline is
+    /// `submit + runtime * uniform(slack_min, slack_max)` (SLO classes).
+    pub slack_min: f64,
+    /// Upper end of the deadline-slack range.
+    pub slack_max: f64,
+}
+
+impl JobClassParams {
+    /// The Facebook-2009-derived production class (SLO jobs). Sizes are
+    /// scaled so the largest gangs fit comfortably within `cluster_size`.
+    pub fn fb2009_2(cluster_size: usize) -> JobClassParams {
+        JobClassParams {
+            name: "fb2009_2",
+            k_dist: scaled_k(
+                &[
+                    (0.35, 4.0),
+                    (0.30, 8.0),
+                    (0.20, 12.0),
+                    (0.10, 20.0),
+                    (0.05, 32.0),
+                ],
+                cluster_size,
+            ),
+            runtime_dist: LogNormal::with_median(150.0, 0.55, 40.0, 600.0),
+            slack_min: 2.0,
+            slack_max: 5.0,
+        }
+    }
+
+    /// The Yahoo-derived ad hoc class (best-effort jobs): small and short.
+    pub fn yahoo_1(cluster_size: usize) -> JobClassParams {
+        JobClassParams {
+            name: "yahoo_1",
+            k_dist: scaled_k(&[(0.50, 2.0), (0.30, 4.0), (0.20, 8.0)], cluster_size),
+            runtime_dist: LogNormal::with_median(60.0, 0.50, 20.0, 300.0),
+            slack_min: 2.0,
+            slack_max: 5.0,
+        }
+    }
+
+    /// The synthetic class used by the GS workloads on RC80 (Sec. 6.4):
+    /// moderate gangs and runtimes, exercising a wider parameter range.
+    pub fn synthetic(cluster_size: usize) -> JobClassParams {
+        JobClassParams {
+            name: "synthetic",
+            k_dist: scaled_k(
+                &[(0.25, 4.0), (0.30, 8.0), (0.25, 12.0), (0.20, 16.0)],
+                cluster_size,
+            ),
+            runtime_dist: LogNormal::with_median(100.0, 0.45, 30.0, 360.0),
+            // Tighter slack than the production classes: a job forced onto
+            // a slowed placement (or queued behind one) has little margin,
+            // which is what makes heterogeneity awareness matter in the
+            // GS HET experiments (Sec. 7.2).
+            slack_min: 1.6,
+            slack_max: 3.0,
+        }
+    }
+}
+
+/// Scales a gang-width table so no entry exceeds a quarter of the cluster.
+fn scaled_k(points: &[(f64, f64)], cluster_size: usize) -> Empirical {
+    let cap = (cluster_size as f64 / 4.0).max(1.0);
+    Empirical::new(
+        points
+            .iter()
+            .map(|&(w, k)| (w, k.min(cap).max(1.0)))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::Sample;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn production_class_is_bigger_than_adhoc() {
+        let fb = JobClassParams::fb2009_2(256);
+        let yh = JobClassParams::yahoo_1(256);
+        assert!(fb.k_dist.mean() > yh.k_dist.mean());
+        let mut r = StdRng::seed_from_u64(1);
+        let fb_rt = fb.runtime_dist.empirical_mean(&mut r, 5000);
+        let yh_rt = yh.runtime_dist.empirical_mean(&mut r, 5000);
+        assert!(fb_rt > yh_rt);
+    }
+
+    #[test]
+    fn small_cluster_caps_gang_width() {
+        let fb = JobClassParams::fb2009_2(16);
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let k = fb.k_dist.sample(&mut r);
+            assert!(k <= 4.0, "k {k} exceeds quarter of a 16-node cluster");
+            assert!(k >= 1.0);
+        }
+    }
+
+    #[test]
+    fn slack_range_is_sane() {
+        for params in [
+            JobClassParams::fb2009_2(80),
+            JobClassParams::yahoo_1(80),
+            JobClassParams::synthetic(80),
+        ] {
+            assert!(params.slack_min >= 1.0);
+            assert!(params.slack_max > params.slack_min);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Workload trace export/import: generate a Table 1 workload, save it to
+//! the CSV trace format, reload it, and verify both copies drive the
+//! simulator to identical outcomes — the reproducibility workflow for
+//! sharing exact experiment inputs (DESIGN.md §4.2).
+//!
+//! Run: `cargo run --release --example trace_roundtrip`
+
+use tetrisched::cluster::Cluster;
+use tetrisched::core::{TetriSched, TetriSchedConfig};
+use tetrisched::sim::{SimConfig, Simulator};
+use tetrisched::workloads::{from_csv, to_csv, GridmixConfig, Workload, WorkloadBuilder};
+
+fn main() {
+    let cluster = Cluster::uniform(4, 5, 2);
+    let jobs = WorkloadBuilder::new(GridmixConfig {
+        seed: 21,
+        num_jobs: 20,
+        cluster_size: cluster.num_nodes(),
+        ..GridmixConfig::default()
+    })
+    .generate(Workload::GsHet);
+
+    let csv = to_csv(&jobs);
+    println!("exported {} jobs ({} bytes); first lines:\n", jobs.len(), csv.len());
+    for line in csv.lines().take(5) {
+        println!("  {line}");
+    }
+
+    let reloaded = from_csv(&csv).expect("parse trace");
+    assert_eq!(jobs.len(), reloaded.len());
+
+    let run = |js| {
+        Simulator::new(
+            cluster.clone(),
+            TetriSched::new(TetriSchedConfig::full(48)),
+            SimConfig::default(),
+        )
+        .run(js)
+    };
+    let a = run(jobs);
+    let b = run(reloaded);
+    assert_eq!(a.end_time, b.end_time);
+    for (id, out) in &a.outcomes {
+        assert_eq!(out, &b.outcomes[id], "outcome mismatch for {id:?}");
+    }
+    println!(
+        "\nreloaded trace reproduces the run exactly: {} jobs, end time {}s, \
+         total SLO attainment {:.1}%",
+        a.outcomes.len(),
+        a.end_time,
+        a.metrics.total_slo_attainment()
+    );
+}

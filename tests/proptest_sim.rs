@@ -1,0 +1,162 @@
+//! Property tests over whole simulations: for random small workloads and
+//! both scheduler stacks, structural invariants must hold.
+
+use proptest::prelude::*;
+use tetrisched::baseline::CapacityScheduler;
+use tetrisched::cluster::Cluster;
+use tetrisched::core::{TetriSched, TetriSchedConfig};
+use tetrisched::sim::{JobId, JobOutcome, JobSpec, JobType, SimConfig, SimReport, Simulator};
+
+#[derive(Debug, Clone)]
+struct MiniJob {
+    submit: u64,
+    k: u32,
+    runtime: u64,
+    slo_slack: Option<u32>, // deadline = submit + runtime * slack / 8
+    job_type: u8,
+    error_pm: i32, // estimate error in percent
+}
+
+fn arb_job() -> impl Strategy<Value = MiniJob> {
+    (
+        0u64..120,
+        1u32..5,
+        5u64..60,
+        prop::option::of(10u32..40),
+        0u8..3,
+        -60i32..100,
+    )
+        .prop_map(
+            |(submit, k, runtime, slo_slack, job_type, error_pm)| MiniJob {
+                submit,
+                k,
+                runtime,
+                slo_slack,
+                job_type,
+                error_pm,
+            },
+        )
+}
+
+fn to_specs(jobs: &[MiniJob]) -> Vec<JobSpec> {
+    jobs.iter()
+        .enumerate()
+        .map(|(i, j)| JobSpec {
+            id: JobId(i as u64),
+            submit: j.submit,
+            job_type: match j.job_type {
+                0 => JobType::Unconstrained,
+                1 => JobType::Gpu,
+                _ => JobType::Mpi,
+            },
+            k: j.k,
+            base_runtime: j.runtime,
+            slowdown: if j.job_type == 0 { 1.0 } else { 1.5 },
+            deadline: j.slo_slack.map(|s| j.submit + j.runtime * s as u64 / 8),
+            estimate_error: j.error_pm as f64 / 100.0,
+        })
+        .collect()
+}
+
+fn check_invariants(report: &SimReport, n_jobs: usize, name: &str) -> Result<(), TestCaseError> {
+    let m = &report.metrics;
+    // Every job is classified and terminal (no infinite waits).
+    prop_assert_eq!(
+        m.accepted_slo_total + m.nores_slo_total + m.be_total,
+        n_jobs,
+        "{}: class totals",
+        name
+    );
+    prop_assert_eq!(m.incomplete, 0, "{}: incomplete jobs", name);
+    // Met counts never exceed totals.
+    prop_assert!(m.accepted_slo_met <= m.accepted_slo_total);
+    prop_assert!(m.nores_slo_met <= m.nores_slo_total);
+    prop_assert!(m.be_completed <= m.be_total);
+    // Physical resource accounting.
+    prop_assert!(
+        m.busy_node_seconds <= m.total_node_seconds,
+        "{}: utilization {} > 1",
+        name,
+        m.utilization()
+    );
+    // Completed jobs finish no earlier than their true runtime allows.
+    for (id, outcome) in &report.outcomes {
+        if let JobOutcome::Completed { at, .. } = outcome {
+            prop_assert!(*at > 0, "{}: job {:?} completed at 0", name, id);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    // Whole-simulation properties are expensive; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tetrisched_invariants(jobs in proptest::collection::vec(arb_job(), 1..10)) {
+        let specs = to_specs(&jobs);
+        let cluster = Cluster::uniform(2, 4, 1);
+        let report = Simulator::new(
+            cluster,
+            TetriSched::new(TetriSchedConfig::full(16)),
+            SimConfig::default(),
+        )
+        .run(specs);
+        check_invariants(&report, jobs.len(), "tetrisched")?;
+        // TetriSched never preempts (paper behaviour).
+        prop_assert_eq!(report.metrics.preemptions, 0);
+    }
+
+    #[test]
+    fn baseline_invariants(jobs in proptest::collection::vec(arb_job(), 1..10)) {
+        let specs = to_specs(&jobs);
+        let cluster = Cluster::uniform(2, 4, 1);
+        let report = Simulator::new(
+            cluster,
+            CapacityScheduler::paper_default(),
+            SimConfig::default(),
+        )
+        .run(specs);
+        check_invariants(&report, jobs.len(), "rayon-cs")?;
+        // The baseline never abandons jobs.
+        prop_assert_eq!(report.metrics.abandoned, 0);
+    }
+
+    #[test]
+    fn greedy_and_np_variants_invariants(jobs in proptest::collection::vec(arb_job(), 1..8)) {
+        let specs = to_specs(&jobs);
+        for cfg in [TetriSchedConfig::no_global(16), TetriSchedConfig::no_plan_ahead()] {
+            let report = Simulator::new(
+                Cluster::uniform(2, 4, 1),
+                TetriSched::new(cfg),
+                SimConfig::default(),
+            )
+            .run(specs.clone());
+            check_invariants(&report, jobs.len(), "variant")?;
+        }
+    }
+
+    #[test]
+    fn completed_be_latency_at_least_runtime(
+        jobs in proptest::collection::vec(arb_job(), 1..8),
+    ) {
+        let specs = to_specs(&jobs);
+        let cluster = Cluster::uniform(2, 4, 1);
+        let report = Simulator::new(
+            cluster,
+            TetriSched::new(TetriSchedConfig::full(16)),
+            SimConfig::default(),
+        )
+        .run(specs.clone());
+        for spec in &specs {
+            if let JobOutcome::Completed { at, preferred } = report.outcomes[&spec.id] {
+                let min_runtime = spec.true_runtime_for(preferred);
+                prop_assert!(
+                    at >= spec.submit + min_runtime,
+                    "job {:?} completed at {} before submit {} + runtime {}",
+                    spec.id, at, spec.submit, min_runtime
+                );
+            }
+        }
+    }
+}
