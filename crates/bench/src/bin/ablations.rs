@@ -13,6 +13,7 @@
 use tetrisched_bench::figures::FigScale;
 use tetrisched_bench::harness::{run_spec, RunSpec, SchedulerKind};
 use tetrisched_core::TetriSchedConfig;
+use tetrisched_sim::{FaultPlan, RetryPolicy};
 use tetrisched_workloads::Workload;
 
 fn run(label: &str, scale: &FigScale, error: f64, cfg: TetriSchedConfig) {
@@ -26,6 +27,8 @@ fn run(label: &str, scale: &FigScale, error: f64, cfg: TetriSchedConfig) {
         cycle_period: scale.cycle_period,
         utilization: 1.15,
         slowdown: 2.0,
+        faults: FaultPlan::none(),
+        retry: RetryPolicy::default(),
     });
     let m = &report.metrics;
     println!(

@@ -10,6 +10,7 @@
 use tetrisched_bench::harness::{run_spec, RunSpec, SchedulerKind};
 use tetrisched_cluster::Cluster;
 use tetrisched_core::TetriSchedConfig;
+use tetrisched_sim::{FaultPlan, RetryPolicy};
 use tetrisched_workloads::Workload;
 
 fn main() {
@@ -40,6 +41,8 @@ fn main() {
             cycle_period: 4,
             utilization: 1.15,
             slowdown: 2.0,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         });
         let m = &report.metrics;
         println!(

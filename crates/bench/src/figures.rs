@@ -2,6 +2,7 @@
 
 use tetrisched_cluster::Cluster;
 use tetrisched_core::TetriSchedConfig;
+use tetrisched_sim::{FaultPlan, RetryPolicy};
 use tetrisched_workloads::Workload;
 
 use crate::harness::{run_spec, RunSpec, SchedulerKind};
@@ -137,6 +138,8 @@ fn error_sweep(
                         cycle_period: scale.cycle_period,
                         utilization,
                         slowdown,
+                        faults: FaultPlan::none(),
+                        retry: RetryPolicy::default(),
                     });
                     MetricsRow::from_report(kind.name(), err, &report)
                 })
@@ -266,6 +269,8 @@ pub fn fig11(scale: &FigScale) -> Vec<MetricsRow> {
                         cycle_period: scale.cycle_period,
                         utilization: 1.15,
                         slowdown: 2.0,
+                        faults: FaultPlan::none(),
+                        retry: RetryPolicy::default(),
                     });
                     MetricsRow::from_report(name, pa as f64, &report)
                 })
@@ -286,6 +291,8 @@ pub fn fig11(scale: &FigScale) -> Vec<MetricsRow> {
                 cycle_period: scale.cycle_period,
                 utilization: 1.15,
                 slowdown: 2.0,
+                faults: FaultPlan::none(),
+                retry: RetryPolicy::default(),
             });
             MetricsRow::from_report("rayon-cs", 0.0, &report)
         })
@@ -318,6 +325,8 @@ pub fn fig12_cdf(scale: &FigScale) -> Vec<(String, Vec<(f64, f64)>)> {
             cycle_period: scale.cycle_period,
             utilization: 1.15,
             slowdown: 2.0,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         });
         out.push((format!("{name} cycle"), report.metrics.cycle_latency.cdf()));
         out.push((

@@ -3,7 +3,7 @@
 use tetrisched_baseline::CapacityScheduler;
 use tetrisched_cluster::Cluster;
 use tetrisched_core::{TetriSched, TetriSchedConfig};
-use tetrisched_sim::{SimConfig, SimReport, Simulator};
+use tetrisched_sim::{FaultPlan, RetryPolicy, SimConfig, SimReport, Simulator};
 use tetrisched_workloads::{GridmixConfig, Workload, WorkloadBuilder};
 
 /// Which scheduler stack to run.
@@ -47,12 +47,24 @@ pub struct RunSpec {
     pub utilization: f64,
     /// Slowdown multiplier on non-preferred placements for GPU/MPI jobs.
     pub slowdown: f64,
+    /// Node fault plan injected into the run (`FaultPlan::none()` for a
+    /// healthy cluster, as in all paper experiments).
+    pub faults: FaultPlan,
+    /// Backoff/budget policy for gangs evicted by node failures.
+    pub retry: RetryPolicy,
 }
 
 impl RunSpec {
     /// Paper-default knobs: near-saturated load, Fig. 1's 1.5x slowdown.
     pub fn defaults() -> (f64, f64) {
         (1.0, 1.5)
+    }
+
+    /// A healthy-cluster fault configuration: no failures, default
+    /// retry policy. Spread over the paper experiment `RunSpec`s so churn
+    /// experiments can opt in without touching every figure pipeline.
+    pub fn no_faults() -> (FaultPlan, RetryPolicy) {
+        (FaultPlan::none(), RetryPolicy::default())
     }
 }
 
@@ -74,6 +86,9 @@ pub fn run_spec(spec: &RunSpec) -> SimReport {
         // sweep; ordinary runs finish long before this.
         horizon: Some(1_000_000),
         trace: false,
+        faults: spec.faults.clone(),
+        retry: spec.retry,
+        ..SimConfig::default()
     };
     match &spec.kind {
         SchedulerKind::Tetri(cfg) => {
@@ -110,6 +125,8 @@ mod tests {
                 cycle_period: 4,
                 utilization: 1.0,
                 slowdown: 1.5,
+                faults: FaultPlan::none(),
+                retry: RetryPolicy::default(),
             });
             let m = &report.metrics;
             let terminal = m.accepted_slo_total + m.nores_slo_total + m.be_total;

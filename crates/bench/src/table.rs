@@ -31,6 +31,16 @@ pub struct MetricsRow {
     pub preemptions: usize,
     /// Abandoned jobs.
     pub abandoned: usize,
+    /// Gangs evicted by node failures.
+    pub evictions: usize,
+    /// Eviction retries issued.
+    pub retries: usize,
+    /// Jobs abandoned after exhausting their eviction retry budget.
+    pub abandoned_after_retries: usize,
+    /// Cycles that fell back to the degraded (greedy) placer.
+    pub solver_fallbacks: usize,
+    /// Fraction of node-seconds the cluster was up, %.
+    pub availability: f64,
 }
 
 impl MetricsRow {
@@ -51,6 +61,11 @@ impl MetricsRow {
             solver_ms_p99: m.solver_latency.quantile(0.99) * 1e3,
             preemptions: m.preemptions,
             abandoned: m.abandoned,
+            evictions: m.evictions,
+            retries: m.retries,
+            abandoned_after_retries: m.abandoned_after_retries,
+            solver_fallbacks: m.solver_fallbacks,
+            availability: m.availability() * 100.0,
         }
     }
 }
@@ -80,6 +95,15 @@ impl MetricsRow {
             solver_ms_p99: avg(|r| r.solver_ms_p99),
             preemptions: rows.iter().map(|r| r.preemptions).sum::<usize>() / rows.len(),
             abandoned: rows.iter().map(|r| r.abandoned).sum::<usize>() / rows.len(),
+            evictions: rows.iter().map(|r| r.evictions).sum::<usize>() / rows.len(),
+            retries: rows.iter().map(|r| r.retries).sum::<usize>() / rows.len(),
+            abandoned_after_retries: rows
+                .iter()
+                .map(|r| r.abandoned_after_retries)
+                .sum::<usize>()
+                / rows.len(),
+            solver_fallbacks: rows.iter().map(|r| r.solver_fallbacks).sum::<usize>() / rows.len(),
+            availability: avg(|r| r.availability),
         }
     }
 }
@@ -144,6 +168,23 @@ pub fn latency_panels() -> Vec<Panel> {
     ]
 }
 
+/// Robustness panels for the churn experiments (beyond the paper, which
+/// evaluates healthy clusters only).
+pub fn robustness_panels() -> Vec<Panel> {
+    vec![
+        ("SLO attainment, all SLO jobs (%)", |r| r.total_slo),
+        ("cluster availability (%)", |r| r.availability),
+        ("evictions", |r| r.evictions as f64),
+        ("eviction retries", |r| r.retries as f64),
+        ("abandoned after retries", |r| {
+            r.abandoned_after_retries as f64
+        }),
+        ("degraded cycles (solver fallbacks)", |r| {
+            r.solver_fallbacks as f64
+        }),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +204,11 @@ mod tests {
             solver_ms_p99: 1.0,
             preemptions: 0,
             abandoned: 0,
+            evictions: 0,
+            retries: 0,
+            abandoned_after_retries: 0,
+            solver_fallbacks: 0,
+            availability: 100.0,
         }
     }
 

@@ -27,6 +27,11 @@ struct Alloc {
 pub enum LedgerError {
     /// A requested node is already held by another allocation.
     NodeBusy(crate::NodeId),
+    /// A requested node is marked down (failed / unavailable).
+    NodeDown(crate::NodeId),
+    /// A node cannot be marked down while an allocation still holds it
+    /// (the caller must evict the owning gang first).
+    NodeAllocated(crate::NodeId, AllocHandle),
     /// The handle is already in use.
     DuplicateHandle(AllocHandle),
     /// The handle does not name a live allocation.
@@ -37,6 +42,10 @@ impl std::fmt::Display for LedgerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LedgerError::NodeBusy(n) => write!(f, "node {n} is already allocated"),
+            LedgerError::NodeDown(n) => write!(f, "node {n} is down"),
+            LedgerError::NodeAllocated(n, h) => {
+                write!(f, "node {n} still held by {h:?}; evict before marking down")
+            }
             LedgerError::DuplicateHandle(h) => write!(f, "allocation handle {h:?} already live"),
             LedgerError::UnknownHandle(h) => write!(f, "no live allocation {h:?}"),
         }
@@ -46,10 +55,17 @@ impl std::fmt::Display for LedgerError {
 impl std::error::Error for LedgerError {}
 
 /// Tracks current node ownership and expected future availability.
+///
+/// Every node is in exactly one of three states — **free**, **allocated**
+/// (owned by a live [`AllocHandle`]), or **down** (failed / drained) — and
+/// the conservation invariant `free + allocated + down == total` holds
+/// after every operation. Down nodes are invisible to every availability
+/// query, so plan-ahead never counts capacity that a fault has removed.
 #[derive(Debug, Clone)]
 pub struct Ledger {
     num_nodes: usize,
     free: NodeSet,
+    down: NodeSet,
     owner: Vec<Option<AllocHandle>>,
     allocs: HashMap<AllocHandle, Alloc>,
 }
@@ -60,6 +76,7 @@ impl Ledger {
         Ledger {
             num_nodes,
             free: NodeSet::full(num_nodes),
+            down: NodeSet::empty(num_nodes),
             owner: vec![None; num_nodes],
             allocs: HashMap::new(),
         }
@@ -70,14 +87,90 @@ impl Ledger {
         self.num_nodes
     }
 
-    /// The currently free nodes.
+    /// The currently free nodes (excludes down nodes).
     pub fn free_nodes(&self) -> &NodeSet {
         &self.free
     }
 
-    /// Number of currently busy nodes.
+    /// The currently down (failed / unavailable) nodes.
+    pub fn down_nodes(&self) -> &NodeSet {
+        &self.down
+    }
+
+    /// Number of nodes currently held by allocations.
     pub fn busy_count(&self) -> usize {
-        self.num_nodes - self.free.len()
+        self.num_nodes - self.free.len() - self.down.len()
+    }
+
+    /// Number of nodes currently down.
+    pub fn down_count(&self) -> usize {
+        self.down.len()
+    }
+
+    /// Marks a node down. The node must not be held by an allocation (the
+    /// caller evicts the owning gang first); marking an already-down node
+    /// is a no-op so repeated fault reports are harmless.
+    pub fn mark_down(&mut self, node: crate::NodeId) -> Result<(), LedgerError> {
+        if self.down.contains(node) {
+            return Ok(());
+        }
+        if let Some(h) = self.owner[node.index()] {
+            return Err(LedgerError::NodeAllocated(node, h));
+        }
+        self.free.remove(node);
+        self.down.insert(node);
+        Ok(())
+    }
+
+    /// Marks a node repaired, returning it to the free pool. A no-op for
+    /// nodes that are not down.
+    pub fn mark_up(&mut self, node: crate::NodeId) {
+        if self.down.contains(node) {
+            self.down.remove(node);
+            self.free.insert(node);
+        }
+    }
+
+    /// Verifies the internal consistency of the ledger: partition of the
+    /// node universe into free/allocated/down, and agreement between the
+    /// owner index and the allocation table. Returns a description of the
+    /// first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut allocated = 0usize;
+        for ix in 0..self.num_nodes {
+            let node = crate::NodeId(ix as u32);
+            let f = self.free.contains(node);
+            let d = self.down.contains(node);
+            let o = self.owner[ix].is_some();
+            if (f as u8) + (d as u8) + (o as u8) != 1 {
+                return Err(format!(
+                    "node {node} state not exclusive: free={f} down={d} owned={o}"
+                ));
+            }
+            if let Some(h) = self.owner[ix] {
+                allocated += 1;
+                match self.allocs.get(&h) {
+                    Some(a) if a.nodes.contains(node) => {}
+                    _ => return Err(format!("owner index for {node} disagrees with {h:?}")),
+                }
+            }
+        }
+        let alloc_total: usize = self.allocs.values().map(|a| a.nodes.len()).sum();
+        if alloc_total != allocated {
+            return Err(format!(
+                "allocation table holds {alloc_total} nodes but owner index has {allocated}"
+            ));
+        }
+        if self.free.len() + allocated + self.down.len() != self.num_nodes {
+            return Err(format!(
+                "conservation violated: {} free + {} allocated + {} down != {} total",
+                self.free.len(),
+                allocated,
+                self.down.len(),
+                self.num_nodes
+            ));
+        }
+        Ok(())
     }
 
     /// The handle holding a node, if any.
@@ -113,6 +206,9 @@ impl Ledger {
         for n in nodes.iter() {
             if self.owner[n.index()].is_some() {
                 return Err(LedgerError::NodeBusy(n));
+            }
+            if self.down.contains(n) {
+                return Err(LedgerError::NodeDown(n));
             }
         }
         for n in nodes.iter() {
@@ -257,5 +353,75 @@ mod tests {
         let rack = set(6, &[0, 1, 2]);
         assert_eq!(l.avail_at(&rack, 0), 1);
         assert_eq!(l.avail_at(&rack, 10), 3);
+    }
+
+    #[test]
+    fn down_node_lifecycle() {
+        let mut l = Ledger::new(4);
+        l.mark_down(NodeId(1)).unwrap();
+        assert_eq!(l.down_count(), 1);
+        assert!(!l.free_nodes().contains(NodeId(1)));
+        assert!(l.down_nodes().contains(NodeId(1)));
+        // Idempotent re-report.
+        l.mark_down(NodeId(1)).unwrap();
+        assert_eq!(l.down_count(), 1);
+        l.validate().unwrap();
+        l.mark_up(NodeId(1));
+        assert_eq!(l.down_count(), 0);
+        assert!(l.free_nodes().contains(NodeId(1)));
+        // mark_up of a healthy node is a no-op.
+        l.mark_up(NodeId(2));
+        l.validate().unwrap();
+    }
+
+    #[test]
+    fn allocate_rejects_down_node() {
+        let mut l = Ledger::new(4);
+        l.mark_down(NodeId(2)).unwrap();
+        let err = l.allocate(AllocHandle(1), set(4, &[1, 2]), 10).unwrap_err();
+        assert_eq!(err, LedgerError::NodeDown(NodeId(2)));
+        // The failed allocation must not have taken node 1.
+        assert!(l.free_nodes().contains(NodeId(1)));
+        l.validate().unwrap();
+    }
+
+    #[test]
+    fn mark_down_rejects_allocated_node() {
+        let mut l = Ledger::new(4);
+        l.allocate(AllocHandle(7), set(4, &[0, 1]), 10).unwrap();
+        let err = l.mark_down(NodeId(0)).unwrap_err();
+        assert_eq!(err, LedgerError::NodeAllocated(NodeId(0), AllocHandle(7)));
+        // After eviction the node can go down.
+        l.release(AllocHandle(7)).unwrap();
+        l.mark_down(NodeId(0)).unwrap();
+        l.validate().unwrap();
+    }
+
+    #[test]
+    fn down_nodes_excluded_from_future_availability() {
+        let mut l = Ledger::new(4);
+        l.allocate(AllocHandle(1), set(4, &[0]), 10).unwrap();
+        l.mark_down(NodeId(3)).unwrap();
+        let all = NodeSet::full(4);
+        // Now: nodes 1, 2 free; node 0 busy until 10; node 3 down.
+        assert_eq!(l.avail_at(&all, 0), 2);
+        // At 10 the allocation frees, but the down node stays excluded.
+        assert_eq!(l.avail_at(&all, 10), 3);
+        assert_eq!(l.busy_count(), 1);
+        l.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_accepts_mixed_states() {
+        let mut l = Ledger::new(8);
+        l.allocate(AllocHandle(1), set(8, &[0, 1, 2]), 100).unwrap();
+        l.mark_down(NodeId(5)).unwrap();
+        l.mark_down(NodeId(6)).unwrap();
+        l.validate().unwrap();
+        l.release(AllocHandle(1)).unwrap();
+        l.mark_up(NodeId(5));
+        l.validate().unwrap();
+        assert_eq!(l.busy_count(), 0);
+        assert_eq!(l.down_count(), 1);
     }
 }

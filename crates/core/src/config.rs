@@ -61,6 +61,15 @@ pub struct TetriSchedConfig {
     pub preemption: bool,
     /// Cap on preemptions per cycle when `preemption` is enabled.
     pub max_preemptions_per_cycle: usize,
+    /// Quarantine threshold: a job whose STRL expression fails to compile
+    /// this many times is abandoned instead of poisoning every future
+    /// cycle's aggregate model.
+    pub max_compile_failures: u32,
+    /// Chaos knob for robustness testing: 1-based indices of global MILP
+    /// solves that are forced to fail (as if the solver errored). The
+    /// affected cycle must degrade to the greedy placer rather than drop
+    /// work. Empty in production configurations.
+    pub chaos_global_solve_failures: Vec<u64>,
 }
 
 impl Default for TetriSchedConfig {
@@ -83,6 +92,8 @@ impl Default for TetriSchedConfig {
             solver_heuristic: false,
             preemption: false,
             max_preemptions_per_cycle: 4,
+            max_compile_failures: 8,
+            chaos_global_solve_failures: Vec::new(),
         }
     }
 }

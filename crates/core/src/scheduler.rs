@@ -5,7 +5,9 @@ use std::time::Instant;
 
 use tetrisched_cluster::{AllocHandle, Ledger, NodeSet, PartitionSet, Time};
 use tetrisched_milp::{ExactBackend, HeuristicBackend, MilpBackend, SolverConfig};
-use tetrisched_sim::{CycleContext, CycleDecisions, JobId, Launch, PendingJob, Scheduler};
+use tetrisched_sim::{
+    CycleContext, CycleDecisions, CycleError, JobId, Launch, PendingJob, Scheduler,
+};
 use tetrisched_strl::{JobClass, StrlExpr};
 
 use crate::compiler::{compile, CompileInput, CompiledModel};
@@ -17,6 +19,10 @@ pub struct TetriSched {
     config: TetriSchedConfig,
     /// Last cycle's chosen option per job, for warm starting (Sec. 3.2.2).
     choice_cache: HashMap<JobId, (OptionKey, Time)>,
+    /// Consecutive compile failures per job, for quarantine.
+    compile_failures: HashMap<JobId, u32>,
+    /// Global MILP solves attempted so far (drives the chaos knob).
+    global_solves: u64,
 }
 
 impl TetriSched {
@@ -25,7 +31,23 @@ impl TetriSched {
         TetriSched {
             config,
             choice_cache: HashMap::new(),
+            compile_failures: HashMap::new(),
+            global_solves: 0,
         }
+    }
+
+    /// Records a compile failure for a job, abandoning it once it crosses
+    /// the quarantine threshold so one mis-compiling job cannot poison
+    /// every future cycle.
+    fn record_compile_failure(&mut self, job: JobId, detail: String, d: &mut CycleDecisions) {
+        record_compile_failure_in(
+            &mut self.compile_failures,
+            &mut self.choice_cache,
+            self.config.max_compile_failures,
+            job,
+            detail,
+            d,
+        );
     }
 
     /// Full TetriSched with the paper's default plan-ahead.
@@ -95,13 +117,19 @@ impl TetriSched {
     }
 
     /// Global scheduling: one MILP over the whole batch (Sec. 5).
+    ///
+    /// Returns `false` when the primary path failed (aggregate could not be
+    /// compiled, or the solver errored / produced no incumbent) and the
+    /// caller should degrade the cycle to the greedy placer. Compile
+    /// failures of individual jobs are isolated and quarantined here, not
+    /// grounds for degradation.
     fn cycle_global(
         &mut self,
         ctx: &CycleContext<'_>,
         view: &Ledger,
         batch: &[&PendingJob],
         d: &mut CycleDecisions,
-    ) {
+    ) -> bool {
         let generator = StrlGenerator::new(&self.config, ctx.cluster);
         let rack_avail = |s: &NodeSet| view.avail_at(s, ctx.now);
         let mut requests: Vec<JobRequest> = Vec::new();
@@ -115,40 +143,103 @@ impl TetriSched {
             }
         }
         if requests.is_empty() {
-            return;
+            return true; // Nothing to place is success, not degradation.
         }
 
-        let leaf_sets = collect_leaf_sets(requests.iter().map(|r| &r.expr));
-        let partitions = PartitionSet::refine(ctx.cluster.num_nodes(), &leaf_sets);
-        let all_tags: Vec<LeafTag> = requests.iter().flat_map(|r| r.tags.clone()).collect();
-        let aggregate = StrlExpr::Sum(requests.into_iter().map(|r| r.expr).collect());
-        let input = CompileInput {
-            expr: &aggregate,
-            partitions: &partitions,
-            now: ctx.now,
-            quantum: self.config.cycle_period,
-            n_slices: self.config.n_slices(),
-        };
         let avail = |set: &NodeSet, t: Time| view.avail_at(set, t);
-        let compiled = match compile(&input, &avail) {
-            Ok(c) => c,
-            Err(e) => {
-                debug_assert!(false, "compile failed: {e}");
-                return;
+        // Compile the aggregate; on failure, isolate the offending jobs by
+        // compiling each alone, quarantine them, and retry with the rest.
+        let mut active = requests;
+        let (compiled, partitions) = loop {
+            let leaf_sets = collect_leaf_sets(active.iter().map(|r| &r.expr));
+            let partitions = PartitionSet::refine(ctx.cluster.num_nodes(), &leaf_sets);
+            let aggregate = StrlExpr::Sum(active.iter().map(|r| r.expr.clone()).collect());
+            let input = CompileInput {
+                expr: &aggregate,
+                partitions: &partitions,
+                now: ctx.now,
+                quantum: self.config.cycle_period,
+                n_slices: self.config.n_slices(),
+            };
+            match compile(&input, &avail) {
+                Ok(c) => break (c, partitions),
+                Err(agg_err) => {
+                    let mut bad: Vec<(usize, String)> = Vec::new();
+                    for (ix, r) in active.iter().enumerate() {
+                        let sets = collect_leaf_sets(std::iter::once(&r.expr));
+                        let parts = PartitionSet::refine(ctx.cluster.num_nodes(), &sets);
+                        let single = CompileInput {
+                            expr: &r.expr,
+                            partitions: &parts,
+                            now: ctx.now,
+                            quantum: self.config.cycle_period,
+                            n_slices: self.config.n_slices(),
+                        };
+                        if let Err(e) = compile(&single, &avail) {
+                            bad.push((ix, e.to_string()));
+                        }
+                    }
+                    if bad.is_empty() {
+                        // Every job compiles alone but the aggregate fails:
+                        // nothing to quarantine, give the cycle to greedy.
+                        d.errors.push(CycleError::Compile {
+                            job: None,
+                            detail: agg_err.to_string(),
+                        });
+                        return false;
+                    }
+                    for (ix, detail) in bad.into_iter().rev() {
+                        let job = active.remove(ix).job;
+                        self.record_compile_failure(job, detail, d);
+                    }
+                    if active.is_empty() {
+                        return false;
+                    }
+                }
             }
         };
+        // Every surviving job compiled: clear its quarantine strikes.
+        for r in &active {
+            self.compile_failures.remove(&r.job);
+        }
+        let all_tags: Vec<LeafTag> = active.iter().flat_map(|r| r.tags.clone()).collect();
 
         let warm = if self.config.warm_start {
             self.build_warm(&compiled, &all_tags, &partitions, view)
         } else {
             None
         };
+        self.global_solves += 1;
+        if self
+            .config
+            .chaos_global_solve_failures
+            .contains(&self.global_solves)
+        {
+            d.errors.push(CycleError::Solver {
+                detail: format!(
+                    "chaos-injected failure of global solve #{}",
+                    self.global_solves
+                ),
+            });
+            return false;
+        }
         let t0 = Instant::now();
         let sol = self.backend().solve(&compiled.model, warm.as_deref());
         d.solver_time += t0.elapsed();
-        let Ok(sol) = sol else { return };
+        let sol = match sol {
+            Ok(s) => s,
+            Err(e) => {
+                d.errors.push(CycleError::Solver {
+                    detail: e.to_string(),
+                });
+                return false;
+            }
+        };
         if !sol.status.has_solution() {
-            return;
+            d.errors.push(CycleError::NoSolution {
+                detail: format!("{:?}", sol.status),
+            });
+            return false;
         }
 
         // Stale cache entries for batch jobs die; chosen ones re-enter.
@@ -201,6 +292,7 @@ impl TetriSched {
                 });
             }
         }
+        true
     }
 
     /// Greedy (`TetriSched-NG`) scheduling: one MILP per job in priority
@@ -249,17 +341,38 @@ impl TetriSched {
             let compiled = match compile(&input, &avail) {
                 Ok(c) => c,
                 Err(e) => {
-                    debug_assert!(false, "compile failed: {e}");
+                    // Skip just this job (and quarantine repeat offenders);
+                    // the rest of the batch still schedules.
+                    record_compile_failure_in(
+                        &mut self.compile_failures,
+                        &mut self.choice_cache,
+                        self.config.max_compile_failures,
+                        p.spec.id,
+                        e.to_string(),
+                        d,
+                    );
                     continue;
                 }
             };
             let t0 = Instant::now();
             let sol = self.backend().solve(&compiled.model, None);
             d.solver_time += t0.elapsed();
-            let Ok(sol) = sol else { continue };
+            let sol = match sol {
+                Ok(s) => s,
+                Err(e) => {
+                    d.errors.push(CycleError::Solver {
+                        detail: e.to_string(),
+                    });
+                    continue;
+                }
+            };
             if !sol.status.has_solution() {
+                d.errors.push(CycleError::NoSolution {
+                    detail: format!("{:?}", sol.status),
+                });
                 continue;
             }
+            self.compile_failures.remove(&p.spec.id);
             let chosen = compiled.chosen(&sol);
             self.choice_cache.remove(&p.spec.id);
             if chosen.is_empty() {
@@ -428,6 +541,13 @@ impl TetriSched {
 impl Scheduler for TetriSched {
     fn on_complete(&mut self, job: JobId, _now: Time) {
         self.choice_cache.remove(&job);
+        self.compile_failures.remove(&job);
+    }
+
+    fn on_evict(&mut self, job: JobId, _now: Time) {
+        // The cached choice may point at nodes that are now down; force a
+        // fresh plan when the job returns from backoff.
+        self.choice_cache.remove(&job);
     }
 
     fn cycle(&mut self, ctx: &CycleContext<'_>) -> CycleDecisions {
@@ -438,7 +558,13 @@ impl Scheduler for TetriSched {
             return d;
         }
         if self.config.global {
-            self.cycle_global(ctx, &view, &batch, &mut d);
+            if !self.cycle_global(ctx, &view, &batch, &mut d) {
+                // Solver watchdog: the global MILP failed this cycle.
+                // Degrade to greedy job-at-a-time placement so the cluster
+                // keeps moving instead of idling until the next cycle.
+                d.degraded = true;
+                self.cycle_greedy(ctx, &view, &batch, &mut d);
+            }
         } else {
             self.cycle_greedy(ctx, &view, &batch, &mut d);
         }
@@ -450,6 +576,30 @@ impl Scheduler for TetriSched {
 
     fn name(&self) -> &str {
         self.config.variant_name()
+    }
+}
+
+/// Field-level body of [`TetriSched::record_compile_failure`]; standalone
+/// so call sites holding a borrow of `config` (via the STRL generator) can
+/// still reach the quarantine state.
+fn record_compile_failure_in(
+    compile_failures: &mut HashMap<JobId, u32>,
+    choice_cache: &mut HashMap<JobId, (OptionKey, Time)>,
+    max_compile_failures: u32,
+    job: JobId,
+    detail: String,
+    d: &mut CycleDecisions,
+) {
+    d.errors.push(CycleError::Compile {
+        job: Some(job),
+        detail,
+    });
+    let n = compile_failures.entry(job).or_insert(0);
+    *n += 1;
+    if *n >= max_compile_failures {
+        d.abandons.push(job);
+        choice_cache.remove(&job);
+        compile_failures.remove(&job);
     }
 }
 
@@ -826,6 +976,92 @@ mod tests {
                 preferred: true
             }
         );
+    }
+
+    #[test]
+    fn chaos_solver_failure_degrades_single_cycle_to_greedy() {
+        // Force the first global MILP solve to fail: that cycle (and only
+        // that cycle) must degrade to the greedy placer, the work must
+        // still be placed, and the fallback must be counted.
+        let mut cfg = TetriSchedConfig::full(16);
+        cfg.chaos_global_solve_failures = vec![1];
+        let report = run(
+            Cluster::uniform(1, 4, 0),
+            cfg,
+            vec![
+                job(0, 0, JobType::Unconstrained, 2, 20, 1.0, Some(100)),
+                job(1, 0, JobType::Unconstrained, 2, 20, 1.0, None),
+            ],
+        );
+        assert_eq!(report.metrics.solver_fallbacks, 1);
+        assert_eq!(report.metrics.degraded_cycles, 1);
+        assert_eq!(report.metrics.solver_errors, 1);
+        // The degraded cycle still scheduled everything: both jobs finish
+        // as if the failure never happened (greedy places them the same).
+        assert_eq!(report.metrics.accepted_slo_met, 1);
+        assert_eq!(report.metrics.be_completed, 1);
+        assert!(report
+            .trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, tetrisched_sim::TraceEvent::CycleDegraded { at: 0, .. })));
+    }
+
+    #[test]
+    fn chaos_failure_of_later_solve_only_degrades_that_cycle() {
+        // Jobs arriving over several cycles; failing solve #2 must not
+        // affect cycle 1 or cycles after 2.
+        let mut cfg = TetriSchedConfig::full(16);
+        cfg.chaos_global_solve_failures = vec![2];
+        let report = run(
+            Cluster::uniform(1, 4, 0),
+            cfg,
+            vec![
+                job(0, 0, JobType::Unconstrained, 4, 10, 1.0, None),
+                job(1, 12, JobType::Unconstrained, 4, 10, 1.0, None),
+                job(2, 24, JobType::Unconstrained, 4, 10, 1.0, None),
+            ],
+        );
+        assert_eq!(report.metrics.degraded_cycles, 1);
+        assert_eq!(report.metrics.solver_fallbacks, 1);
+        assert_eq!(report.metrics.be_completed, 3);
+    }
+
+    #[test]
+    fn eviction_invalidates_warm_start_cache() {
+        // A fault under a running TetriSched gang: on_evict must clear the
+        // stale cached choice and the job must complete via its retry.
+        use tetrisched_sim::{FaultPlan, FaultScope, FaultScript, RetryPolicy};
+        let cluster = Cluster::uniform(1, 4, 0);
+        let sim_cfg = SimConfig {
+            cycle_period: 4,
+            trace: true,
+            strict_accounting: true,
+            faults: FaultPlan::from_script(
+                &cluster,
+                &[FaultScript {
+                    at: 10,
+                    duration: 6,
+                    scope: FaultScope::Node(tetrisched_cluster::NodeId(0)),
+                }],
+            ),
+            retry: RetryPolicy {
+                max_retries: 3,
+                backoff_base: 4,
+                backoff_cap: 16,
+            },
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(
+            cluster,
+            TetriSched::new(TetriSchedConfig::full(16)),
+            sim_cfg,
+        )
+        .run(vec![job(0, 0, JobType::Unconstrained, 4, 50, 1.0, None)]);
+        assert_eq!(report.metrics.evictions, 1);
+        assert_eq!(report.metrics.be_completed, 1);
+        let done = report.outcomes[&JobId(0)].completion().unwrap();
+        assert!(done > 50, "restart must lose progress (done at {done})");
     }
 
     #[test]

@@ -73,6 +73,20 @@ pub(crate) fn dive(
     None
 }
 
+/// Crate-internal re-export of [`dive`] for the heuristic backend.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dive_public(
+    model: &Model,
+    simplex: &Simplex,
+    base_lb: &[f64],
+    base_ub: &[f64],
+    root_values: &[f64],
+    config: &SolverConfig,
+    stats: &mut SolverStats,
+) -> Option<(f64, Vec<f64>)> {
+    dive(model, simplex, base_lb, base_ub, root_values, config, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,18 +130,4 @@ mod tests {
         let found = dive(&m, &simplex, &[0.0], &[1.0], &[1.0], &cfg, &mut stats);
         assert_eq!(found.unwrap().0, 1.0);
     }
-}
-
-/// Crate-internal re-export of [`dive`] for the heuristic backend.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn dive_public(
-    model: &Model,
-    simplex: &Simplex,
-    base_lb: &[f64],
-    base_ub: &[f64],
-    root_values: &[f64],
-    config: &SolverConfig,
-    stats: &mut SolverStats,
-) -> Option<(f64, Vec<f64>)> {
-    dive(model, simplex, base_lb, base_ub, root_values, config, stats)
 }

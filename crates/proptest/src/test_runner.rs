@@ -1,0 +1,129 @@
+//! Test execution: configuration, per-case RNGs, and failure type.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a test case failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion in the property body failed.
+    Fail(String),
+    /// The input was rejected (kept for API compatibility; the stub's
+    /// strategies never reject).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Drives one property: owns the case count and derives per-case RNGs.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    cases: u32,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named property. `PROPTEST_CASES` in the
+    /// environment overrides the configured case count.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(config.cases);
+        TestRunner {
+            cases,
+            seed: fnv1a(name.as_bytes()),
+        }
+    }
+
+    /// Number of cases this property runs.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// Deterministic RNG for one case: a pure function of the property
+    /// name and the case index, so failures reproduce anywhere.
+    pub fn rng_for_case(&self, case: u32) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[test]
+    fn runner_is_deterministic() {
+        let r1 = TestRunner::new(ProptestConfig::default(), "prop_x");
+        let r2 = TestRunner::new(ProptestConfig::default(), "prop_x");
+        let mut a = r1.rng_for_case(5);
+        let mut b = r2.rng_for_case(5);
+        assert_eq!(a.random::<u64>(), b.random::<u64>());
+    }
+
+    #[test]
+    fn distinct_names_distinct_streams() {
+        let r1 = TestRunner::new(ProptestConfig::default(), "prop_x");
+        let r2 = TestRunner::new(ProptestConfig::default(), "prop_y");
+        let mut a = r1.rng_for_case(0);
+        let mut b = r2.rng_for_case(0);
+        assert_ne!(a.random::<u64>(), b.random::<u64>());
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(TestCaseError::fail("boom").to_string(), "boom");
+        assert!(TestCaseError::reject("nope").to_string().contains("nope"));
+    }
+}

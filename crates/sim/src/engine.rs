@@ -11,9 +11,10 @@ use tetrisched_reservation::{Reservation, ReservationSystem};
 use tetrisched_strl::{Atom, JobClass, Window};
 
 use crate::event::{EventKind, EventQueue};
+use crate::fault::{FaultPlan, RetryPolicy};
 use crate::job::{JobId, JobOutcome, JobSpec};
 use crate::metrics::Metrics;
-use crate::scheduler::{CycleContext, PendingJob, RunningJob, Scheduler};
+use crate::scheduler::{CycleContext, CycleError, PendingJob, RunningJob, Scheduler};
 use crate::trace::{TraceEvent, TraceLog};
 use crate::Time;
 
@@ -26,6 +27,14 @@ pub struct SimConfig {
     pub horizon: Option<Time>,
     /// Whether to record a full event trace.
     pub trace: bool,
+    /// Node failure/repair transitions to replay (empty = healthy run).
+    pub faults: FaultPlan,
+    /// Backoff and budget applied to jobs evicted by node failures.
+    pub retry: RetryPolicy,
+    /// When set, the ledger conservation invariant
+    /// (`free + allocated + down == total`) is checked after **every**
+    /// event even in release builds; debug builds always check.
+    pub strict_accounting: bool,
 }
 
 impl Default for SimConfig {
@@ -34,6 +43,9 @@ impl Default for SimConfig {
             cycle_period: 4,
             horizon: None,
             trace: false,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            strict_accounting: false,
         }
     }
 }
@@ -64,6 +76,9 @@ enum JobState {
         nodes: Vec<NodeId>,
         preferred: bool,
     },
+    /// Evicted by a node failure; waiting out the retry backoff before
+    /// rejoining the pending queue.
+    Backoff,
     Terminal,
 }
 
@@ -75,6 +90,8 @@ struct JobRecord {
     state: JobState,
     preemptions: u32,
     generation: u32,
+    /// Fault-eviction retries consumed so far.
+    retries: u32,
     outcome: Option<JobOutcome>,
 }
 
@@ -120,11 +137,35 @@ impl<S: Scheduler> Simulator<S> {
                     state: JobState::NotArrived,
                     preemptions: 0,
                     generation: 0,
+                    retries: 0,
                     outcome: None,
                 },
             );
         }
         queue.push(0, EventKind::CycleTick);
+
+        // Replay the fault plan as events. The plan is validated up front
+        // so a plan generated for the wrong cluster fails loudly instead of
+        // corrupting state mid-run.
+        if let Some(max) = self.config.faults.max_node() {
+            assert!(
+                max.index() < num_nodes,
+                "fault plan touches node {max} but the cluster has {num_nodes} nodes"
+            );
+        }
+        for fe in self.config.faults.events().to_vec() {
+            let kind = if fe.up {
+                EventKind::NodeUp { node: fe.node }
+            } else {
+                EventKind::NodeDown { node: fe.node }
+            };
+            queue.push(fe.at, kind);
+        }
+        // Overlapping outages of one node (stochastic churn merged with a
+        // scripted rack outage) are refcounted: the node rejoins the free
+        // pool only when every overlapping outage has ended.
+        let mut down_depth: Vec<u32> = vec![0; num_nodes];
+        let mut down_since: Vec<Option<Time>> = vec![None; num_nodes];
 
         let mut now: Time = 0;
         while let Some(ev) = queue.pop() {
@@ -204,6 +245,80 @@ impl<S: Scheduler> Simulator<S> {
                     });
                     self.scheduler.on_complete(job, now);
                 }
+                EventKind::NodeDown { node } => {
+                    down_depth[node.index()] += 1;
+                    if down_depth[node.index()] > 1 {
+                        continue; // Nested outage; the node is already down.
+                    }
+                    down_since[node.index()] = Some(now);
+                    if let Some(handle) = ledger.owner_of(node) {
+                        // Evict the gang holding the failed node: the run's
+                        // progress is lost and its queued Complete event goes
+                        // stale via the generation bump.
+                        let job = JobId(handle.0);
+                        let rec = records
+                            .get_mut(&job)
+                            .expect("down node held by unknown job");
+                        if let JobState::Running {
+                            started, ref nodes, ..
+                        } = rec.state
+                        {
+                            metrics.busy_node_seconds += (now - started) * nodes.len() as u64;
+                        }
+                        ledger.release(handle).expect("ledger release on eviction");
+                        rec.generation += 1;
+                        rec.retries += 1;
+                        metrics.evictions += 1;
+                        trace.record(TraceEvent::Evicted {
+                            job,
+                            node,
+                            retry: rec.retries,
+                            at: now,
+                        });
+                        self.scheduler.on_evict(job, now);
+                        if rec.retries > self.config.retry.max_retries {
+                            rec.state = JobState::Terminal;
+                            rec.outcome = Some(JobOutcome::Abandoned { at: now });
+                            metrics.abandoned_after_retries += 1;
+                            remaining -= 1;
+                            trace.record(TraceEvent::RetriesExhausted { job, at: now });
+                        } else {
+                            rec.state = JobState::Backoff;
+                            metrics.retries += 1;
+                            queue.push(
+                                now + self.config.retry.delay(rec.retries),
+                                EventKind::Resubmit { job },
+                            );
+                        }
+                    }
+                    ledger
+                        .mark_down(node)
+                        .expect("mark_down after owner eviction");
+                    trace.record(TraceEvent::NodeDown { node, at: now });
+                }
+                EventKind::NodeUp { node } => {
+                    if down_depth[node.index()] == 0 {
+                        continue; // Repair without a matching failure.
+                    }
+                    down_depth[node.index()] -= 1;
+                    if down_depth[node.index()] == 0 {
+                        ledger.mark_up(node);
+                        if let Some(since) = down_since[node.index()].take() {
+                            metrics.down_node_seconds += now - since;
+                        }
+                        trace.record(TraceEvent::NodeUp { node, at: now });
+                    }
+                }
+                EventKind::Resubmit { job } => {
+                    let rec = records.get_mut(&job).expect("resubmit of unknown job");
+                    // A Resubmit can only find the job in Backoff: evictions
+                    // out of Backoff are impossible (the job holds no nodes).
+                    if matches!(rec.state, JobState::Backoff) {
+                        rec.state = JobState::Pending;
+                        pending_order.push(job);
+                        trace.record(TraceEvent::Resubmitted { job, at: now });
+                    }
+                }
                 EventKind::CycleTick => {
                     self.run_cycle(
                         now,
@@ -220,6 +335,19 @@ impl<S: Scheduler> Simulator<S> {
                     }
                 }
             }
+            // Conservation invariant after every state-mutating event:
+            // free + allocated + down == total. Debug builds always check;
+            // strict_accounting extends the check to release builds.
+            if self.config.strict_accounting || cfg!(debug_assertions) {
+                if let Err(e) = ledger.validate() {
+                    panic!("ledger invariant violated at t={now}: {e}");
+                }
+            }
+            if remaining == 0 {
+                // All jobs terminal: stop instead of draining whatever
+                // fault-plan events remain past the workload's end.
+                break;
+            }
         }
 
         // Finalize: account for jobs that never became terminal.
@@ -234,7 +362,7 @@ impl<S: Scheduler> Simulator<S> {
                     metrics.incomplete += 1;
                     rec.outcome = Some(JobOutcome::Incomplete);
                 }
-                JobState::Pending | JobState::NotArrived => {
+                JobState::Pending | JobState::Backoff | JobState::NotArrived => {
                     if rec.outcome.is_none() {
                         metrics.incomplete += 1;
                         rec.outcome = Some(JobOutcome::Incomplete);
@@ -254,6 +382,10 @@ impl<S: Scheduler> Simulator<S> {
             classes.insert(*id, rec.class);
         }
         metrics.total_node_seconds = num_nodes as u64 * now;
+        // Close out outages still open when the run ended.
+        for since in down_since.iter().flatten() {
+            metrics.down_node_seconds += now.saturating_sub(*since);
+        }
 
         SimReport {
             metrics,
@@ -322,6 +454,25 @@ impl<S: Scheduler> Simulator<S> {
         metrics
             .solver_latency
             .push(decisions.solver_time.as_secs_f64());
+
+        // Surface degraded-mode signals: cycles report non-fatal errors
+        // instead of panicking or silently dropping work.
+        for err in &decisions.errors {
+            match err {
+                CycleError::Compile { .. } => metrics.compile_errors += 1,
+                CycleError::Solver { .. } | CycleError::NoSolution { .. } => {
+                    metrics.solver_errors += 1
+                }
+            }
+        }
+        if decisions.degraded {
+            metrics.degraded_cycles += 1;
+            metrics.solver_fallbacks += 1;
+            trace.record(TraceEvent::CycleDegraded {
+                errors: decisions.errors.iter().map(|e| e.to_string()).collect(),
+                at: now,
+            });
+        }
 
         // 1. Preemptions: victims lose all progress and requeue.
         for job in decisions.preemptions {
@@ -645,6 +796,203 @@ mod tests {
         assert!(slo_done < be_done, "BE restarted after the SLO job");
         // BE lost its first 12s of progress: completion >= 32 + 100.
         assert!(be_done >= 120);
+    }
+
+    fn one_node_outage(at: Time, duration: Time, node: u32) -> FaultPlan {
+        FaultPlan::from_script(
+            &Cluster::uniform(1, 4, 0),
+            &[crate::fault::FaultScript {
+                at,
+                duration,
+                scope: crate::fault::FaultScope::Node(NodeId(node)),
+            }],
+        )
+    }
+
+    #[test]
+    fn eviction_retries_then_completes() {
+        // Job 0 runs on nodes 0-1 for 100s; node 0 fails at t=30 and heals
+        // at t=40. The job is evicted, backs off, and restarts from scratch.
+        let config = SimConfig {
+            faults: one_node_outage(30, 10, 0),
+            retry: RetryPolicy {
+                max_retries: 3,
+                backoff_base: 8,
+                backoff_cap: 64,
+            },
+            strict_accounting: true,
+            trace: true,
+            ..SimConfig::default()
+        };
+        let report =
+            Simulator::new(Cluster::uniform(1, 4, 0), Fifo, config).run(vec![be_job(0, 0, 2, 100)]);
+        assert_eq!(report.metrics.evictions, 1);
+        assert_eq!(report.metrics.retries, 1);
+        assert_eq!(report.metrics.abandoned_after_retries, 0);
+        let done = report.outcomes[&JobId(0)].completion().unwrap();
+        // Evicted at 30, resubmitted at 38, relaunched at the next cycle
+        // tick, then a full 100s re-run: strictly later than the fault-free
+        // completion at 100.
+        assert!(done > 100, "restart must lose progress (done at {done})");
+        let events = report.trace.for_job(JobId(0));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Evicted { retry: 1, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Resubmitted { at: 38, .. })));
+        // Node-level fault trace is present too.
+        assert!(report.trace.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::NodeDown {
+                node: NodeId(0),
+                at: 30
+            }
+        )));
+        assert_eq!(report.metrics.down_node_seconds, 10);
+    }
+
+    #[test]
+    fn stale_complete_after_eviction_is_ignored() {
+        // The generation guard: job 0's original Complete event (queued for
+        // t=100 at launch) fires after the job was evicted at t=30 and must
+        // not complete generation 1. The job completes only via its re-run.
+        let config = SimConfig {
+            faults: one_node_outage(30, 5, 1),
+            retry: RetryPolicy {
+                max_retries: 3,
+                backoff_base: 100,
+                backoff_cap: 100,
+            },
+            strict_accounting: true,
+            trace: true,
+            ..SimConfig::default()
+        };
+        let report =
+            Simulator::new(Cluster::uniform(1, 4, 0), Fifo, config).run(vec![be_job(0, 0, 2, 100)]);
+        // Backoff of 100s spans the stale Complete at t=100; had the stale
+        // event been honored the job would report completion at 100 while
+        // holding zero nodes.
+        let done = report.outcomes[&JobId(0)].completion().unwrap();
+        assert!(
+            done > 200,
+            "stale completion must be ignored (done at {done})"
+        );
+        assert_eq!(report.metrics.be_completed, 1);
+        let completions = report
+            .trace
+            .for_job(JobId(0))
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Completed { .. }))
+            .count();
+        assert_eq!(completions, 1);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_abandons() {
+        // Every retry lands the job back on a cluster whose nodes keep
+        // failing; with max_retries=2 the third eviction abandons it.
+        let cluster = Cluster::uniform(1, 2, 0);
+        let outages = (0..6)
+            .map(|i| crate::fault::FaultScript {
+                at: 10 + i * 20,
+                duration: 5,
+                scope: crate::fault::FaultScope::Node(NodeId((i % 2) as u32)),
+            })
+            .collect::<Vec<_>>();
+        let config = SimConfig {
+            faults: FaultPlan::from_script(&cluster, &outages),
+            retry: RetryPolicy {
+                max_retries: 2,
+                backoff_base: 1,
+                backoff_cap: 1,
+            },
+            strict_accounting: true,
+            trace: true,
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(cluster, Fifo, config).run(vec![be_job(0, 0, 2, 1000)]);
+        assert_eq!(report.outcomes[&JobId(0)], JobOutcome::Abandoned { at: 50 });
+        assert_eq!(report.metrics.evictions, 3);
+        assert_eq!(report.metrics.retries, 2);
+        assert_eq!(report.metrics.abandoned_after_retries, 1);
+        // Scheduler-initiated abandons are counted separately.
+        assert_eq!(report.metrics.abandoned, 0);
+        assert!(report
+            .trace
+            .for_job(JobId(0))
+            .iter()
+            .any(|e| matches!(e, TraceEvent::RetriesExhausted { at: 50, .. })));
+    }
+
+    #[test]
+    fn down_nodes_are_not_scheduled() {
+        // 2 of 4 nodes down from t=0 to t=50; a 3-wide job cannot launch
+        // until the repair.
+        let cluster = Cluster::uniform(1, 4, 0);
+        let config = SimConfig {
+            faults: FaultPlan::from_script(
+                &cluster,
+                &[crate::fault::FaultScript {
+                    at: 0,
+                    duration: 50,
+                    scope: crate::fault::FaultScope::Nodes(vec![NodeId(0), NodeId(1)]),
+                }],
+            ),
+            strict_accounting: true,
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(cluster, Fifo, config).run(vec![be_job(0, 0, 3, 10)]);
+        let done = report.outcomes[&JobId(0)].completion().unwrap();
+        assert!(done >= 60, "launch had to wait for repair (done at {done})");
+        assert_eq!(report.metrics.evictions, 0);
+        assert_eq!(report.metrics.down_node_seconds, 100);
+    }
+
+    #[test]
+    fn degraded_cycles_are_counted() {
+        /// Reports a degraded cycle (with errors) before behaving like FIFO.
+        struct DegradedFifo {
+            cycles: u32,
+        }
+        impl Scheduler for DegradedFifo {
+            fn cycle(&mut self, ctx: &CycleContext<'_>) -> CycleDecisions {
+                let mut d = Fifo.cycle(ctx);
+                self.cycles += 1;
+                if self.cycles == 1 {
+                    d.errors.push(crate::scheduler::CycleError::Solver {
+                        detail: "injected".into(),
+                    });
+                    d.errors.push(crate::scheduler::CycleError::Compile {
+                        job: Some(JobId(0)),
+                        detail: "injected".into(),
+                    });
+                    d.degraded = true;
+                }
+                d
+            }
+            fn name(&self) -> &str {
+                "degraded-fifo"
+            }
+        }
+        let report = Simulator::new(
+            Cluster::uniform(1, 4, 0),
+            DegradedFifo { cycles: 0 },
+            SimConfig {
+                trace: true,
+                ..SimConfig::default()
+            },
+        )
+        .run(vec![be_job(0, 0, 1, 10)]);
+        assert_eq!(report.metrics.degraded_cycles, 1);
+        assert_eq!(report.metrics.solver_fallbacks, 1);
+        assert_eq!(report.metrics.solver_errors, 1);
+        assert_eq!(report.metrics.compile_errors, 1);
+        assert!(report
+            .trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::CycleDegraded { .. })));
     }
 
     #[test]

@@ -5,10 +5,13 @@ use std::collections::BinaryHeap;
 
 use crate::job::JobId;
 use crate::Time;
+use tetrisched_cluster::NodeId;
 
 /// Kinds of simulation events, in processing-priority order for equal
-/// timestamps: completions free resources before submissions are recorded,
-/// and the scheduler cycle fires last so it sees a settled state.
+/// timestamps: completions free resources before fault transitions mutate
+/// node state, repairs land before new failures (so a zero-length outage
+/// nets out to up), arrivals and retry re-queues are recorded next, and
+/// the scheduler cycle fires last so it sees a settled state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// A running job's gang finished. The generation guards against stale
@@ -19,9 +22,26 @@ pub enum EventKind {
         /// Run generation the completion belongs to.
         generation: u32,
     },
+    /// A node repair: the node rejoins the free pool.
+    NodeUp {
+        /// Repaired node.
+        node: NodeId,
+    },
+    /// A node failure: any gang holding the node is evicted and the node
+    /// leaves the free pool until a matching [`EventKind::NodeUp`].
+    NodeDown {
+        /// Failed node.
+        node: NodeId,
+    },
     /// A job arrives in the system.
     Submit {
         /// Arriving job.
+        job: JobId,
+    },
+    /// An evicted job's retry backoff expired; it re-enters the pending
+    /// queue.
+    Resubmit {
+        /// Retrying job.
         job: JobId,
     },
     /// The periodic scheduler cycle.
@@ -32,8 +52,11 @@ impl EventKind {
     fn priority(&self) -> u8 {
         match self {
             EventKind::Complete { .. } => 0,
-            EventKind::Submit { .. } => 1,
-            EventKind::CycleTick => 2,
+            EventKind::NodeUp { .. } => 1,
+            EventKind::NodeDown { .. } => 2,
+            EventKind::Submit { .. } => 3,
+            EventKind::Resubmit { .. } => 4,
+            EventKind::CycleTick => 5,
         }
     }
 }
@@ -127,7 +150,10 @@ mod tests {
     fn same_time_orders_by_kind_priority() {
         let mut q = EventQueue::new();
         q.push(5, EventKind::CycleTick);
+        q.push(5, EventKind::Resubmit { job: JobId(3) });
         q.push(5, EventKind::Submit { job: JobId(1) });
+        q.push(5, EventKind::NodeDown { node: NodeId(0) });
+        q.push(5, EventKind::NodeUp { node: NodeId(0) });
         q.push(
             5,
             EventKind::Complete {
@@ -136,7 +162,10 @@ mod tests {
             },
         );
         assert!(matches!(q.pop().unwrap().kind, EventKind::Complete { .. }));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::NodeUp { .. }));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::NodeDown { .. }));
         assert!(matches!(q.pop().unwrap().kind, EventKind::Submit { .. }));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Resubmit { .. }));
         assert!(matches!(q.pop().unwrap().kind, EventKind::CycleTick));
     }
 

@@ -1,0 +1,434 @@
+//! Deterministic fault injection: node failure/repair plans.
+//!
+//! The paper's evaluation assumes a static, healthy cluster; real deployments
+//! see node churn. This module produces a [`FaultPlan`] — a fully
+//! pre-computed, seeded sequence of node down/up transitions — that the
+//! simulator replays as [`EventKind::NodeDown`](crate::event::EventKind) /
+//! `NodeUp` events. Pre-computing the plan (rather than sampling online)
+//! keeps runs bit-for-bit reproducible regardless of how the engine
+//! interleaves other events, and lets tests assert on the exact transition
+//! sequence.
+//!
+//! Two sources compose:
+//!
+//! - **Stochastic churn**: per-node alternating up/down renewal process with
+//!   exponentially distributed time-between-failures (MTBF) and
+//!   time-to-repair (MTTR), seeded; and
+//! - **Scripted outages**: explicit windows taking down a node, a whole
+//!   rack, or an arbitrary node set at a fixed time — the correlated-failure
+//!   cases (top-of-rack switch loss) stochastic churn cannot express.
+//!
+//! The module is dependency-free: it carries its own splitmix64 generator so
+//! the sim crate's non-test builds stay free of a `rand` dependency.
+
+use tetrisched_cluster::{Cluster, NodeId, RackId};
+
+use crate::Time;
+
+/// One node state transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the transition fires.
+    pub at: Time,
+    /// The node changing state.
+    pub node: NodeId,
+    /// `true` for repair (node up), `false` for failure (node down).
+    pub up: bool,
+}
+
+/// Parameters for stochastic per-node churn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// RNG seed; equal seeds yield identical plans.
+    pub seed: u64,
+    /// Mean time between failures per node, in seconds.
+    pub mtbf: f64,
+    /// Mean time to repair, in seconds.
+    pub mttr: f64,
+    /// Transitions are generated in `[0, horizon)`.
+    pub horizon: Time,
+}
+
+/// Which nodes a scripted outage takes down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultScope {
+    /// A single node.
+    Node(NodeId),
+    /// Every node in a rack (correlated failure, e.g. ToR switch loss).
+    Rack(RackId),
+    /// An explicit node list.
+    Nodes(Vec<NodeId>),
+}
+
+/// One scripted outage window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultScript {
+    /// Outage start.
+    pub at: Time,
+    /// Outage length; the repair fires at `at + duration`. A zero duration
+    /// is dropped (it would be a no-op: `NodeUp` sorts before `NodeDown` at
+    /// equal times).
+    pub duration: Time,
+    /// Affected nodes.
+    pub scope: FaultScope,
+}
+
+/// A pre-computed, deterministic sequence of node transitions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a perfectly healthy cluster.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Samples stochastic churn for every node of a `num_nodes` cluster.
+    ///
+    /// Each node runs an independent renewal process — up for
+    /// `Exp(1/mtbf)`, down for `max(1, Exp(1/mttr))` — with its own RNG
+    /// stream derived from `config.seed` and the node id, so the plan for
+    /// node `k` does not depend on how many other nodes exist.
+    pub fn generate(num_nodes: usize, config: &FaultConfig) -> Self {
+        let mut events = Vec::new();
+        for ix in 0..num_nodes {
+            let node = NodeId(ix as u32);
+            let mut rng = SplitMix64::new(config.seed ^ splitmix_scramble(ix as u64 + 1));
+            let mut t = rng.sample_exp(config.mtbf);
+            while t < config.horizon as f64 {
+                let down_at = t as Time;
+                let repair_at = down_at + (rng.sample_exp(config.mttr) as Time).max(1);
+                events.push(FaultEvent {
+                    at: down_at,
+                    node,
+                    up: false,
+                });
+                if repair_at < config.horizon {
+                    events.push(FaultEvent {
+                        at: repair_at,
+                        node,
+                        up: true,
+                    });
+                }
+                t = repair_at as f64 + rng.sample_exp(config.mtbf);
+            }
+        }
+        let mut plan = FaultPlan { events };
+        plan.normalize();
+        plan
+    }
+
+    /// Expands scripted outage windows against a concrete cluster topology.
+    pub fn from_script(cluster: &Cluster, scripts: &[FaultScript]) -> Self {
+        let mut events = Vec::new();
+        for s in scripts {
+            if s.duration == 0 {
+                continue;
+            }
+            let nodes: Vec<NodeId> = match &s.scope {
+                FaultScope::Node(n) => vec![*n],
+                FaultScope::Rack(r) => cluster.rack_nodes(*r).iter().collect(),
+                FaultScope::Nodes(ns) => ns.clone(),
+            };
+            for node in nodes {
+                events.push(FaultEvent {
+                    at: s.at,
+                    node,
+                    up: false,
+                });
+                events.push(FaultEvent {
+                    at: s.at + s.duration,
+                    node,
+                    up: true,
+                });
+            }
+        }
+        let mut plan = FaultPlan { events };
+        plan.normalize();
+        plan
+    }
+
+    /// Merges another plan into this one. Overlapping outages of the same
+    /// node are legal; the engine refcounts down transitions so a node
+    /// only rejoins the free pool once every overlapping outage has ended.
+    pub fn merge(mut self, other: FaultPlan) -> Self {
+        self.events.extend(other.events);
+        self.normalize();
+        self
+    }
+
+    /// The transitions in deterministic firing order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan contains no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Highest node index the plan touches, if any (used to validate a plan
+    /// against the cluster it is replayed on).
+    pub fn max_node(&self) -> Option<NodeId> {
+        self.events.iter().map(|e| e.node).max()
+    }
+
+    fn normalize(&mut self) {
+        // Repairs sort before failures at equal (time, node) so a
+        // back-to-back outage pair nets to a state change, matching the
+        // event-queue priority order.
+        self.events.sort_by_key(|e| (e.at, e.node, !e.up as u8));
+    }
+}
+
+/// Capped exponential backoff for evicted jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Evictions a job may survive before it is abandoned. The first
+    /// eviction consumes retry 1; a job is abandoned when it would need
+    /// retry `max_retries + 1`.
+    pub max_retries: u32,
+    /// Delay before the first retry, in seconds.
+    pub backoff_base: Time,
+    /// Upper bound on any retry delay, in seconds.
+    pub backoff_cap: Time,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            backoff_base: 10,
+            backoff_cap: 300,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay before retry number `attempt` (1-based): `base * 2^(attempt-1)`
+    /// capped at `backoff_cap`, saturating on overflow.
+    pub fn delay(&self, attempt: u32) -> Time {
+        let shifted = self
+            .backoff_base
+            .checked_shl(attempt.saturating_sub(1))
+            .unwrap_or(Time::MAX);
+        shifted.min(self.backoff_cap).max(1)
+    }
+}
+
+/// splitmix64: tiny, high-quality, dependency-free PRNG (public domain
+/// reference algorithm by Sebastiano Vigna).
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+fn splitmix_scramble(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix_scramble(self.state.wrapping_sub(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform in (0, 1]: never zero, so `ln` below is finite.
+    fn next_unit(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+
+    /// Exponential with the given mean (inverse-CDF sampling).
+    fn sample_exp(&mut self, mean: f64) -> f64 {
+        -mean * self.next_unit().ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            mtbf: 500.0,
+            mttr: 60.0,
+            horizon: 10_000,
+        }
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = FaultPlan::generate(16, &cfg(7));
+        let b = FaultPlan::generate(16, &cfg(7));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let a = FaultPlan::generate(16, &cfg(7));
+        let b = FaultPlan::generate(16, &cfg(8));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn node_stream_independent_of_cluster_size() {
+        // Node 3's transitions must be identical in an 8- and a 64-node
+        // cluster: streams are keyed by node id, not sampled in sequence.
+        let small = FaultPlan::generate(8, &cfg(3));
+        let big = FaultPlan::generate(64, &cfg(3));
+        let pick = |p: &FaultPlan| -> Vec<FaultEvent> {
+            p.events()
+                .iter()
+                .copied()
+                .filter(|e| e.node == NodeId(3))
+                .collect()
+        };
+        assert_eq!(pick(&small), pick(&big));
+    }
+
+    #[test]
+    fn transitions_alternate_per_node() {
+        let plan = FaultPlan::generate(8, &cfg(11));
+        for ix in 0..8u32 {
+            let mut down = false;
+            let mut last_at = 0;
+            for e in plan.events().iter().filter(|e| e.node == NodeId(ix)) {
+                assert_eq!(e.up, down, "node {ix} transition does not alternate");
+                assert!(e.at >= last_at);
+                down = !e.up;
+                last_at = e.at;
+            }
+        }
+    }
+
+    #[test]
+    fn events_sorted_and_within_horizon() {
+        let plan = FaultPlan::generate(32, &cfg(5));
+        let mut prev = 0;
+        for e in plan.events() {
+            assert!(e.at >= prev);
+            assert!(e.at < 10_000);
+            prev = e.at;
+        }
+    }
+
+    #[test]
+    fn script_expands_rack_scope() {
+        let c = Cluster::uniform(2, 4, 0);
+        let plan = FaultPlan::from_script(
+            &c,
+            &[FaultScript {
+                at: 100,
+                duration: 50,
+                scope: FaultScope::Rack(RackId(1)),
+            }],
+        );
+        // 4 nodes down at 100, 4 back up at 150.
+        assert_eq!(plan.events().len(), 8);
+        let downs: Vec<_> = plan.events().iter().filter(|e| !e.up).collect();
+        assert_eq!(downs.len(), 4);
+        assert!(downs.iter().all(|e| e.at == 100));
+        assert!(downs.iter().all(|e| c.rack_of(e.node) == RackId(1)));
+        assert_eq!(plan.max_node(), Some(NodeId(7)));
+    }
+
+    #[test]
+    fn zero_duration_script_dropped() {
+        let c = Cluster::uniform(1, 2, 0);
+        let plan = FaultPlan::from_script(
+            &c,
+            &[FaultScript {
+                at: 5,
+                duration: 0,
+                scope: FaultScope::Node(NodeId(0)),
+            }],
+        );
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn merge_interleaves_sorted() {
+        let c = Cluster::uniform(1, 4, 0);
+        let scripted = FaultPlan::from_script(
+            &c,
+            &[FaultScript {
+                at: 0,
+                duration: 10,
+                scope: FaultScope::Node(NodeId(2)),
+            }],
+        );
+        let random = FaultPlan::generate(4, &cfg(9));
+        let merged = random.clone().merge(scripted.clone());
+        assert_eq!(
+            merged.events().len(),
+            random.events().len() + scripted.events().len()
+        );
+        let mut prev = 0;
+        for e in merged.events() {
+            assert!(e.at >= prev);
+            prev = e.at;
+        }
+    }
+
+    #[test]
+    fn up_sorts_before_down_at_equal_time() {
+        let c = Cluster::uniform(1, 1, 0);
+        // Outage [5, 10) followed immediately by outage [10, 20): at t=10
+        // the repair must come first so the second failure finds the node
+        // up.
+        let plan = FaultPlan::from_script(
+            &c,
+            &[
+                FaultScript {
+                    at: 5,
+                    duration: 5,
+                    scope: FaultScope::Node(NodeId(0)),
+                },
+                FaultScript {
+                    at: 10,
+                    duration: 10,
+                    scope: FaultScope::Node(NodeId(0)),
+                },
+            ],
+        );
+        let at_10: Vec<_> = plan.events().iter().filter(|e| e.at == 10).collect();
+        assert_eq!(at_10.len(), 2);
+        assert!(at_10[0].up && !at_10[1].up);
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy {
+            max_retries: 6,
+            backoff_base: 10,
+            backoff_cap: 100,
+        };
+        assert_eq!(p.delay(1), 10);
+        assert_eq!(p.delay(2), 20);
+        assert_eq!(p.delay(3), 40);
+        assert_eq!(p.delay(4), 80);
+        assert_eq!(p.delay(5), 100);
+        assert_eq!(p.delay(200), 100); // saturates, no overflow panic
+    }
+
+    #[test]
+    fn backoff_never_zero() {
+        let p = RetryPolicy {
+            max_retries: 1,
+            backoff_base: 0,
+            backoff_cap: 0,
+        };
+        assert_eq!(p.delay(1), 1);
+    }
+}

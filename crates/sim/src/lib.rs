@@ -21,6 +21,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod gantt;
 pub mod job;
 pub mod metrics;
@@ -28,9 +29,12 @@ pub mod scheduler;
 pub mod trace;
 
 pub use engine::{SimConfig, SimReport, Simulator};
+pub use fault::{FaultConfig, FaultEvent, FaultPlan, FaultScope, FaultScript, RetryPolicy};
 pub use job::{JobId, JobOutcome, JobSpec, JobType};
 pub use metrics::{LatencyStats, Metrics};
-pub use scheduler::{CycleContext, CycleDecisions, Launch, PendingJob, RunningJob, Scheduler};
+pub use scheduler::{
+    CycleContext, CycleDecisions, CycleError, Launch, PendingJob, RunningJob, Scheduler,
+};
 pub use trace::{TraceEvent, TraceLog};
 
 /// Simulated wall-clock time in seconds (re-exported convention).

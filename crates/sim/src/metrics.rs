@@ -102,6 +102,26 @@ pub struct Metrics {
     pub abandoned: usize,
     /// Jobs not terminal when the simulation ended.
     pub incomplete: usize,
+    /// Gangs evicted because a node under them failed.
+    pub evictions: usize,
+    /// Eviction retries issued (re-queues after backoff).
+    pub retries: usize,
+    /// Jobs abandoned because their eviction retry budget ran out
+    /// (disjoint from scheduler-initiated `abandoned`).
+    pub abandoned_after_retries: usize,
+    /// Cycles where the primary placement path failed and the scheduler
+    /// fell back to a degraded placer.
+    pub solver_fallbacks: usize,
+    /// Cycles flagged degraded by the scheduler (currently equal to
+    /// `solver_fallbacks`; kept separate so future degraded modes that do
+    /// not involve a solver fallback stay countable).
+    pub degraded_cycles: usize,
+    /// STRL compile errors surfaced by cycles.
+    pub compile_errors: usize,
+    /// Solver errors / no-solution outcomes surfaced by cycles.
+    pub solver_errors: usize,
+    /// Node-seconds lost to down nodes over the simulated span.
+    pub down_node_seconds: u64,
 }
 
 impl Metrics {
@@ -134,6 +154,16 @@ impl Metrics {
             0.0
         } else {
             self.busy_node_seconds as f64 / self.total_node_seconds as f64
+        }
+    }
+
+    /// Fraction of node-seconds the cluster was actually up, in `[0, 1]`
+    /// (1.0 for a fault-free run).
+    pub fn availability(&self) -> f64 {
+        if self.total_node_seconds == 0 {
+            1.0
+        } else {
+            1.0 - self.down_node_seconds as f64 / self.total_node_seconds as f64
         }
     }
 }
@@ -214,5 +244,16 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(m.utilization(), 0.25);
+    }
+
+    #[test]
+    fn availability_ratio() {
+        let m = Metrics {
+            down_node_seconds: 40,
+            total_node_seconds: 200,
+            ..Default::default()
+        };
+        assert_eq!(m.availability(), 0.8);
+        assert_eq!(Metrics::default().availability(), 1.0);
     }
 }

@@ -69,6 +69,54 @@ pub struct Launch {
     pub expected_end: Time,
 }
 
+/// A non-fatal error a scheduler hit during one cycle.
+///
+/// Cycles never panic and never silently drop work: compile or solver
+/// failures degrade the cycle (skip the job, or fall back to the greedy
+/// placer) and are surfaced here so the engine can count and trace them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CycleError {
+    /// STRL compilation of one job (or of the cycle aggregate when no
+    /// culprit could be isolated) failed.
+    Compile {
+        /// The offending job, when it could be isolated.
+        job: Option<JobId>,
+        /// Underlying error rendering.
+        detail: String,
+    },
+    /// The MILP solver returned an error.
+    Solver {
+        /// Underlying error rendering.
+        detail: String,
+    },
+    /// The solver finished without a usable incumbent (infeasible,
+    /// unbounded, or timed out with no feasible point).
+    NoSolution {
+        /// Solver status rendering.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CycleError::Compile {
+                job: Some(j),
+                detail,
+            } => {
+                write!(f, "compile failed for {j:?}: {detail}")
+            }
+            CycleError::Compile { job: None, detail } => {
+                write!(f, "aggregate compile failed: {detail}")
+            }
+            CycleError::Solver { detail } => write!(f, "solver error: {detail}"),
+            CycleError::NoSolution { detail } => write!(f, "no solution: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CycleError {}
+
 /// The scheduler's output for one cycle.
 ///
 /// The engine applies preemptions first, then launches, then estimate
@@ -89,6 +137,13 @@ pub struct CycleDecisions {
     /// Time spent inside the MILP solver this cycle (zero for schedulers
     /// without one); reported in Fig. 12-style latency metrics.
     pub solver_time: Duration,
+    /// Non-fatal errors hit while producing these decisions.
+    pub errors: Vec<CycleError>,
+    /// Whether the cycle ran in a degraded mode: the primary placement
+    /// path failed (solver error / no solution) and a fallback placer
+    /// produced the decisions instead. The engine counts degraded cycles
+    /// as solver fallbacks.
+    pub degraded: bool,
 }
 
 /// A pluggable cluster scheduler.
@@ -103,6 +158,14 @@ pub trait Scheduler {
 
     /// Called when a running job completes.
     fn on_complete(&mut self, job: JobId, now: Time) {
+        let _ = (job, now);
+    }
+
+    /// Called when the engine evicts a running job because a node under
+    /// its gang failed. The job returns to the pending queue after a
+    /// backoff (or is abandoned once its retry budget is spent); any
+    /// cached per-job placement state should be invalidated.
+    fn on_evict(&mut self, job: JobId, now: Time) {
         let _ = (job, now);
     }
 
@@ -149,5 +212,31 @@ mod tests {
         // Compile-time check that default trait methods exist.
         let mut s = FifoScheduler;
         s.on_complete(JobId(0), 0);
+        s.on_evict(JobId(0), 0);
+    }
+
+    #[test]
+    fn cycle_error_display() {
+        let e = CycleError::Compile {
+            job: Some(JobId(3)),
+            detail: "bad expr".into(),
+        };
+        assert!(e.to_string().contains("JobId(3)"));
+        assert!(e.to_string().contains("bad expr"));
+        let e = CycleError::Compile {
+            job: None,
+            detail: "x".into(),
+        };
+        assert!(e.to_string().contains("aggregate"));
+        assert!(CycleError::Solver {
+            detail: "io".into()
+        }
+        .to_string()
+        .contains("solver error"));
+        assert!(CycleError::NoSolution {
+            detail: "infeasible".into()
+        }
+        .to_string()
+        .contains("no solution"));
     }
 }

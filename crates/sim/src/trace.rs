@@ -52,6 +52,53 @@ pub enum TraceEvent {
         /// Event time.
         at: Time,
     },
+    /// A node failed.
+    NodeDown {
+        /// Failed node.
+        node: NodeId,
+        /// Event time.
+        at: Time,
+    },
+    /// A node was repaired.
+    NodeUp {
+        /// Repaired node.
+        node: NodeId,
+        /// Event time.
+        at: Time,
+    },
+    /// A running job lost a node to a failure and was evicted.
+    Evicted {
+        /// Job identity.
+        job: JobId,
+        /// The failed node that triggered the eviction.
+        node: NodeId,
+        /// Retry number this eviction consumes (1-based).
+        retry: u32,
+        /// Event time.
+        at: Time,
+    },
+    /// An evicted job's backoff expired; it rejoined the pending queue.
+    Resubmitted {
+        /// Job identity.
+        job: JobId,
+        /// Event time.
+        at: Time,
+    },
+    /// An evicted job exhausted its retry budget and was abandoned.
+    RetriesExhausted {
+        /// Job identity.
+        job: JobId,
+        /// Event time.
+        at: Time,
+    },
+    /// A scheduler cycle ran degraded (primary placement path failed and
+    /// a fallback produced the decisions).
+    CycleDegraded {
+        /// Rendered cycle errors.
+        errors: Vec<String>,
+        /// Event time.
+        at: Time,
+    },
 }
 
 impl TraceEvent {
@@ -62,18 +109,30 @@ impl TraceEvent {
             | TraceEvent::Launched { at, .. }
             | TraceEvent::Completed { at, .. }
             | TraceEvent::Preempted { at, .. }
-            | TraceEvent::Abandoned { at, .. } => *at,
+            | TraceEvent::Abandoned { at, .. }
+            | TraceEvent::NodeDown { at, .. }
+            | TraceEvent::NodeUp { at, .. }
+            | TraceEvent::Evicted { at, .. }
+            | TraceEvent::Resubmitted { at, .. }
+            | TraceEvent::RetriesExhausted { at, .. }
+            | TraceEvent::CycleDegraded { at, .. } => *at,
         }
     }
 
-    /// The job the event concerns.
-    pub fn job(&self) -> JobId {
+    /// The job the event concerns, when it concerns one.
+    pub fn job(&self) -> Option<JobId> {
         match self {
             TraceEvent::Submitted { job, .. }
             | TraceEvent::Launched { job, .. }
             | TraceEvent::Completed { job, .. }
             | TraceEvent::Preempted { job, .. }
-            | TraceEvent::Abandoned { job, .. } => *job,
+            | TraceEvent::Abandoned { job, .. }
+            | TraceEvent::Evicted { job, .. }
+            | TraceEvent::Resubmitted { job, .. }
+            | TraceEvent::RetriesExhausted { job, .. } => Some(*job),
+            TraceEvent::NodeDown { .. }
+            | TraceEvent::NodeUp { .. }
+            | TraceEvent::CycleDegraded { .. } => None,
         }
     }
 }
@@ -108,7 +167,10 @@ impl TraceLog {
 
     /// Events concerning one job, in order.
     pub fn for_job(&self, job: JobId) -> Vec<&TraceEvent> {
-        self.events.iter().filter(|e| e.job() == job).collect()
+        self.events
+            .iter()
+            .filter(|e| e.job() == Some(job))
+            .collect()
     }
 }
 
@@ -148,6 +210,29 @@ mod tests {
         assert_eq!(log.events().len(), 3);
         assert_eq!(log.for_job(JobId(1)).len(), 3);
         assert_eq!(log.events()[1].at(), 4);
-        assert_eq!(log.events()[2].job(), JobId(1));
+        assert_eq!(log.events()[2].job(), Some(JobId(1)));
+    }
+
+    #[test]
+    fn fault_events_have_no_job() {
+        let mut log = TraceLog::new(true);
+        log.record(TraceEvent::NodeDown {
+            node: NodeId(3),
+            at: 7,
+        });
+        log.record(TraceEvent::Evicted {
+            job: JobId(2),
+            node: NodeId(3),
+            retry: 1,
+            at: 7,
+        });
+        log.record(TraceEvent::CycleDegraded {
+            errors: vec!["solver error: boom".into()],
+            at: 9,
+        });
+        assert_eq!(log.events()[0].job(), None);
+        assert_eq!(log.events()[1].job(), Some(JobId(2)));
+        assert_eq!(log.events()[2].at(), 9);
+        assert_eq!(log.for_job(JobId(2)).len(), 1);
     }
 }

@@ -21,7 +21,11 @@ fn main() {
     .generate(Workload::GsHet);
 
     let csv = to_csv(&jobs);
-    println!("exported {} jobs ({} bytes); first lines:\n", jobs.len(), csv.len());
+    println!(
+        "exported {} jobs ({} bytes); first lines:\n",
+        jobs.len(),
+        csv.len()
+    );
     for line in csv.lines().take(5) {
         println!("  {line}");
     }
