@@ -41,6 +41,10 @@ pub struct MetricsRow {
     pub solver_fallbacks: usize,
     /// Fraction of node-seconds the cluster was up, %.
     pub availability: f64,
+    /// Error-severity lint rejections surfaced by cycles.
+    pub lint_errors: usize,
+    /// Solves settled by a presolve infeasibility certificate.
+    pub lint_presolve_rejections: usize,
 }
 
 impl MetricsRow {
@@ -66,6 +70,8 @@ impl MetricsRow {
             abandoned_after_retries: m.abandoned_after_retries,
             solver_fallbacks: m.solver_fallbacks,
             availability: m.availability() * 100.0,
+            lint_errors: m.lint_errors,
+            lint_presolve_rejections: m.lint_presolve_rejections,
         }
     }
 }
@@ -104,6 +110,12 @@ impl MetricsRow {
                 / rows.len(),
             solver_fallbacks: rows.iter().map(|r| r.solver_fallbacks).sum::<usize>() / rows.len(),
             availability: avg(|r| r.availability),
+            lint_errors: rows.iter().map(|r| r.lint_errors).sum::<usize>() / rows.len(),
+            lint_presolve_rejections: rows
+                .iter()
+                .map(|r| r.lint_presolve_rejections)
+                .sum::<usize>()
+                / rows.len(),
         }
     }
 }
@@ -209,6 +221,8 @@ mod tests {
             abandoned_after_retries: 0,
             solver_fallbacks: 0,
             availability: 100.0,
+            lint_errors: 0,
+            lint_presolve_rejections: 0,
         }
     }
 

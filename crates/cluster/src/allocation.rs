@@ -287,11 +287,15 @@ mod tests {
     fn allocate_and_release_roundtrip() {
         let mut l = Ledger::new(8);
         let h = AllocHandle(1);
-        l.allocate(h, set(8, &[0, 1, 2]), 100).unwrap();
+        l.allocate(h, set(8, &[0, 1, 2]), 100)
+            .expect("nodes are free and the handle is fresh; allocate must succeed");
         assert_eq!(l.busy_count(), 3);
         assert_eq!(l.owner_of(NodeId(1)), Some(h));
-        assert_eq!(l.nodes_of(h).unwrap().len(), 3);
-        let freed = l.release(h).unwrap();
+        assert_eq!(
+            l.nodes_of(h).expect("handle is live in the ledger").len(),
+            3
+        );
+        let freed = l.release(h).expect("handle is live; release must succeed");
         assert_eq!(freed.len(), 3);
         assert_eq!(l.busy_count(), 0);
         assert_eq!(l.owner_of(NodeId(1)), None);
@@ -300,7 +304,8 @@ mod tests {
     #[test]
     fn double_allocation_rejected() {
         let mut l = Ledger::new(8);
-        l.allocate(AllocHandle(1), set(8, &[0, 1]), 10).unwrap();
+        l.allocate(AllocHandle(1), set(8, &[0, 1]), 10)
+            .expect("nodes are free and the handle is fresh; allocate must succeed");
         let err = l.allocate(AllocHandle(2), set(8, &[1, 2]), 10).unwrap_err();
         assert_eq!(err, LedgerError::NodeBusy(NodeId(1)));
         // The failed allocation must not have taken node 2.
@@ -310,7 +315,8 @@ mod tests {
     #[test]
     fn duplicate_handle_rejected() {
         let mut l = Ledger::new(8);
-        l.allocate(AllocHandle(1), set(8, &[0]), 10).unwrap();
+        l.allocate(AllocHandle(1), set(8, &[0]), 10)
+            .expect("nodes are free and the handle is fresh; allocate must succeed");
         let err = l.allocate(AllocHandle(1), set(8, &[1]), 10).unwrap_err();
         assert_eq!(err, LedgerError::DuplicateHandle(AllocHandle(1)));
     }
@@ -327,8 +333,10 @@ mod tests {
     #[test]
     fn future_availability_honors_expected_end() {
         let mut l = Ledger::new(4);
-        l.allocate(AllocHandle(1), set(4, &[0, 1]), 50).unwrap();
-        l.allocate(AllocHandle(2), set(4, &[2]), 20).unwrap();
+        l.allocate(AllocHandle(1), set(4, &[0, 1]), 50)
+            .expect("nodes are free and the handle is fresh; allocate must succeed");
+        l.allocate(AllocHandle(2), set(4, &[2]), 20)
+            .expect("nodes are free and the handle is fresh; allocate must succeed");
         let all = NodeSet::full(4);
         assert_eq!(l.avail_at(&all, 0), 1); // only node 3 free now
         assert_eq!(l.avail_at(&all, 20), 2); // node 2 frees at 20
@@ -339,9 +347,11 @@ mod tests {
     #[test]
     fn bumped_estimate_moves_availability() {
         let mut l = Ledger::new(2);
-        l.allocate(AllocHandle(1), set(2, &[0]), 10).unwrap();
+        l.allocate(AllocHandle(1), set(2, &[0]), 10)
+            .expect("nodes are free and the handle is fresh; allocate must succeed");
         assert_eq!(l.avail_at(&NodeSet::full(2), 10), 2);
-        l.set_expected_end(AllocHandle(1), 30).unwrap();
+        l.set_expected_end(AllocHandle(1), 30)
+            .expect("handle is live; estimate update must succeed");
         assert_eq!(l.avail_at(&NodeSet::full(2), 10), 1);
         assert_eq!(l.avail_at(&NodeSet::full(2), 30), 2);
     }
@@ -349,7 +359,8 @@ mod tests {
     #[test]
     fn free_at_respects_subset() {
         let mut l = Ledger::new(6);
-        l.allocate(AllocHandle(1), set(6, &[0, 1]), 10).unwrap();
+        l.allocate(AllocHandle(1), set(6, &[0, 1]), 10)
+            .expect("nodes are free and the handle is fresh; allocate must succeed");
         let rack = set(6, &[0, 1, 2]);
         assert_eq!(l.avail_at(&rack, 0), 1);
         assert_eq!(l.avail_at(&rack, 10), 3);
@@ -358,69 +369,81 @@ mod tests {
     #[test]
     fn down_node_lifecycle() {
         let mut l = Ledger::new(4);
-        l.mark_down(NodeId(1)).unwrap();
+        l.mark_down(NodeId(1))
+            .expect("node is free; mark_down must succeed");
         assert_eq!(l.down_count(), 1);
         assert!(!l.free_nodes().contains(NodeId(1)));
         assert!(l.down_nodes().contains(NodeId(1)));
         // Idempotent re-report.
-        l.mark_down(NodeId(1)).unwrap();
+        l.mark_down(NodeId(1))
+            .expect("node is free; mark_down must succeed");
         assert_eq!(l.down_count(), 1);
-        l.validate().unwrap();
+        l.validate().expect("ledger invariants must hold");
         l.mark_up(NodeId(1));
         assert_eq!(l.down_count(), 0);
         assert!(l.free_nodes().contains(NodeId(1)));
         // mark_up of a healthy node is a no-op.
         l.mark_up(NodeId(2));
-        l.validate().unwrap();
+        l.validate().expect("ledger invariants must hold");
     }
 
     #[test]
     fn allocate_rejects_down_node() {
         let mut l = Ledger::new(4);
-        l.mark_down(NodeId(2)).unwrap();
+        l.mark_down(NodeId(2))
+            .expect("node is free; mark_down must succeed");
         let err = l.allocate(AllocHandle(1), set(4, &[1, 2]), 10).unwrap_err();
         assert_eq!(err, LedgerError::NodeDown(NodeId(2)));
         // The failed allocation must not have taken node 1.
         assert!(l.free_nodes().contains(NodeId(1)));
-        l.validate().unwrap();
+        l.validate().expect("ledger invariants must hold");
     }
 
     #[test]
     fn mark_down_rejects_allocated_node() {
         let mut l = Ledger::new(4);
-        l.allocate(AllocHandle(7), set(4, &[0, 1]), 10).unwrap();
+        l.allocate(AllocHandle(7), set(4, &[0, 1]), 10)
+            .expect("nodes are free and the handle is fresh; allocate must succeed");
         let err = l.mark_down(NodeId(0)).unwrap_err();
         assert_eq!(err, LedgerError::NodeAllocated(NodeId(0), AllocHandle(7)));
         // After eviction the node can go down.
-        l.release(AllocHandle(7)).unwrap();
-        l.mark_down(NodeId(0)).unwrap();
-        l.validate().unwrap();
+        l.release(AllocHandle(7))
+            .expect("handle is live; release must succeed");
+        l.mark_down(NodeId(0))
+            .expect("node is free; mark_down must succeed");
+        l.validate().expect("ledger invariants must hold");
     }
 
     #[test]
     fn down_nodes_excluded_from_future_availability() {
         let mut l = Ledger::new(4);
-        l.allocate(AllocHandle(1), set(4, &[0]), 10).unwrap();
-        l.mark_down(NodeId(3)).unwrap();
+        l.allocate(AllocHandle(1), set(4, &[0]), 10)
+            .expect("nodes are free and the handle is fresh; allocate must succeed");
+        l.mark_down(NodeId(3))
+            .expect("node is free; mark_down must succeed");
         let all = NodeSet::full(4);
         // Now: nodes 1, 2 free; node 0 busy until 10; node 3 down.
         assert_eq!(l.avail_at(&all, 0), 2);
         // At 10 the allocation frees, but the down node stays excluded.
         assert_eq!(l.avail_at(&all, 10), 3);
         assert_eq!(l.busy_count(), 1);
-        l.validate().unwrap();
+        l.validate().expect("ledger invariants must hold");
     }
 
     #[test]
     fn validate_accepts_mixed_states() {
         let mut l = Ledger::new(8);
-        l.allocate(AllocHandle(1), set(8, &[0, 1, 2]), 100).unwrap();
-        l.mark_down(NodeId(5)).unwrap();
-        l.mark_down(NodeId(6)).unwrap();
-        l.validate().unwrap();
-        l.release(AllocHandle(1)).unwrap();
+        l.allocate(AllocHandle(1), set(8, &[0, 1, 2]), 100)
+            .expect("nodes are free and the handle is fresh; allocate must succeed");
+        l.mark_down(NodeId(5))
+            .expect("node is free; mark_down must succeed");
+        l.mark_down(NodeId(6))
+            .expect("node is free; mark_down must succeed");
+        l.validate().expect("ledger invariants must hold");
+        l.release(AllocHandle(1))
+            .expect("handle is live; release must succeed");
         l.mark_up(NodeId(5));
-        l.validate().unwrap();
+        l.validate().expect("ledger invariants must hold");
         assert_eq!(l.busy_count(), 0);
         assert_eq!(l.down_count(), 1);
     }

@@ -516,8 +516,11 @@ mod tests {
                 class.len()
             }
         })
-        .unwrap();
-        let sol = compiled.model.solve(&SolverConfig::exact()).unwrap();
+        .expect("expression is well-formed and inside the window; compile must succeed");
+        let sol = compiled
+            .model
+            .solve(&SolverConfig::exact())
+            .expect("compiled models are solver-valid");
         assert!((sol.objective - 3.0).abs() < 1e-6, "fallback option chosen");
         let chosen = compiled.chosen(&sol);
         // The fallback drew its 2 nodes from the non-GPU class only.
@@ -571,8 +574,11 @@ mod tests {
                 class.len()
             }
         })
-        .unwrap();
-        let sol = compiled.model.solve(&SolverConfig::exact()).unwrap();
+        .expect("expression is well-formed and inside the window; compile must succeed");
+        let sol = compiled
+            .model
+            .solve(&SolverConfig::exact())
+            .expect("compiled models are solver-valid");
         assert!(sol.objective.abs() < 1e-6, "min collapses to zero value");
     }
 
@@ -678,7 +684,8 @@ mod tests {
             quantum: 10,
             n_slices: 2,
         };
-        let compiled = compile(&input, &|_, _| 3).unwrap();
+        let compiled = compile(&input, &|_, _| 3)
+            .expect("expression is well-formed and inside the window; compile must succeed");
         // Choose the second start with 2 nodes from class 0.
         let class = compiled.leaves[1].partition_vars[0].0;
         let warm = compiled.warm_vector(&[(1, vec![(class, 2)])]);
@@ -686,7 +693,7 @@ mod tests {
         let sol = compiled
             .model
             .solve_warm(&SolverConfig::exact(), &warm)
-            .unwrap();
+            .expect("compiled models are solver-valid");
         assert!(sol.stats.warm_start_used);
     }
 
@@ -708,7 +715,8 @@ mod tests {
             quantum: 1,
             n_slices: 4,
         };
-        let compiled = compile(&input, &|_, _| 2).unwrap();
+        let compiled = compile(&input, &|_, _| 2)
+            .expect("expression is well-formed and inside the window; compile must succeed");
         let starts: Vec<Time> = compiled.leaves.iter().map(|l| l.start).collect();
         assert_eq!(starts, vec![0, 1, 2]);
         // Nested leaf has two ancestors (sum child, max child excluded —

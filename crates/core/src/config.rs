@@ -70,6 +70,14 @@ pub struct TetriSchedConfig {
     /// affected cycle must degrade to the greedy placer rather than drop
     /// work. Empty in production configurations.
     pub chaos_global_solve_failures: Vec<u64>,
+    /// Run the `tetrisched-lint` model analyses inside every cycle:
+    /// generated STRL expressions and compiled MILP models with
+    /// Error-severity diagnostics are rejected before the solver sees them
+    /// (jobs are quarantined via the compile-failure machinery; a bad
+    /// aggregate degrades the cycle to greedy). Off by default: the
+    /// compiler is expected to emit lint-clean models, and the sweep costs
+    /// a pass over every model.
+    pub lint_models: bool,
 }
 
 impl Default for TetriSchedConfig {
@@ -94,6 +102,7 @@ impl Default for TetriSchedConfig {
             max_preemptions_per_cycle: 4,
             max_compile_failures: 8,
             chaos_global_solve_failures: Vec::new(),
+            lint_models: false,
         }
     }
 }

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
+use lint::{has_errors, lint_expr, lint_model, Diagnostic, Severity, StrlLintContext};
 use tetrisched_cluster::{AllocHandle, Ledger, NodeSet, PartitionSet, Time};
 use tetrisched_milp::{ExactBackend, HeuristicBackend, MilpBackend, SolverConfig};
 use tetrisched_sim::{
@@ -36,16 +37,16 @@ impl TetriSched {
         }
     }
 
-    /// Records a compile failure for a job, abandoning it once it crosses
-    /// the quarantine threshold so one mis-compiling job cannot poison
-    /// every future cycle.
-    fn record_compile_failure(&mut self, job: JobId, detail: String, d: &mut CycleDecisions) {
-        record_compile_failure_in(
+    /// Records a per-job cycle failure (compile error or lint rejection),
+    /// abandoning the job once it crosses the quarantine threshold so one
+    /// bad job cannot poison every future cycle.
+    fn record_job_failure(&mut self, job: JobId, err: CycleError, d: &mut CycleDecisions) {
+        record_job_failure_in(
             &mut self.compile_failures,
             &mut self.choice_cache,
             self.config.max_compile_failures,
             job,
-            detail,
+            err,
             d,
         );
     }
@@ -53,6 +54,15 @@ impl TetriSched {
     /// Full TetriSched with the paper's default plan-ahead.
     pub fn paper_default() -> Self {
         Self::new(TetriSchedConfig::default())
+    }
+
+    /// The lint window for generated expressions: leaves must start inside
+    /// the plan-ahead window the compiler will discretize.
+    fn lint_ctx(&self, now: Time) -> StrlLintContext {
+        StrlLintContext {
+            now,
+            window_end: Some(now + self.config.n_slices() as u64 * self.config.cycle_period),
+        }
     }
 
     fn solver_config(&self) -> SolverConfig {
@@ -142,6 +152,28 @@ impl TetriSched {
                 self.choice_cache.remove(&p.spec.id);
             }
         }
+        // Optional pre-solver gate: reject (and strike) jobs whose
+        // generated STRL fails semantic analysis instead of letting a bad
+        // expression reach the compiler or solver.
+        if self.config.lint_models {
+            let lint_ctx = self.lint_ctx(ctx.now);
+            requests.retain(|r| {
+                let diags = lint_expr(&r.expr, &lint_ctx);
+                if has_errors(&diags) {
+                    self.record_job_failure(
+                        r.job,
+                        CycleError::Lint {
+                            job: Some(r.job),
+                            detail: summarize_errors(&diags),
+                        },
+                        d,
+                    );
+                    false
+                } else {
+                    true
+                }
+            });
+        }
         if requests.is_empty() {
             return true; // Nothing to place is success, not degradation.
         }
@@ -190,7 +222,14 @@ impl TetriSched {
                     }
                     for (ix, detail) in bad.into_iter().rev() {
                         let job = active.remove(ix).job;
-                        self.record_compile_failure(job, detail, d);
+                        self.record_job_failure(
+                            job,
+                            CycleError::Compile {
+                                job: Some(job),
+                                detail,
+                            },
+                            d,
+                        );
                     }
                     if active.is_empty() {
                         return false;
@@ -203,6 +242,20 @@ impl TetriSched {
             self.compile_failures.remove(&r.job);
         }
         let all_tags: Vec<LeafTag> = active.iter().flat_map(|r| r.tags.clone()).collect();
+
+        // The compiled aggregate model gets the same treatment: an
+        // Error-severity MILP diagnostic means the model is structurally
+        // unsound, so degrade to greedy rather than solve it.
+        if self.config.lint_models {
+            let diags = lint_model(&compiled.model);
+            if has_errors(&diags) {
+                d.errors.push(CycleError::Lint {
+                    job: None,
+                    detail: summarize_errors(&diags),
+                });
+                return false;
+            }
+        }
 
         let warm = if self.config.warm_start {
             self.build_warm(&compiled, &all_tags, &partitions, view)
@@ -235,6 +288,9 @@ impl TetriSched {
                 return false;
             }
         };
+        if sol.stats.presolve_certified {
+            d.lint_presolve_rejections += 1;
+        }
         if !sol.status.has_solution() {
             d.errors.push(CycleError::NoSolution {
                 detail: format!("{:?}", sol.status),
@@ -305,6 +361,7 @@ impl TetriSched {
         d: &mut CycleDecisions,
     ) {
         let generator = StrlGenerator::new(&self.config, ctx.cluster);
+        let lint_ctx = self.lint_ctx(ctx.now);
         // Concrete future claims committed earlier in this cycle.
         let mut commitments: Vec<(NodeSet, Time, Time)> = Vec::new();
         let mut assigned_now = ctx.cluster.empty_set();
@@ -318,6 +375,23 @@ impl TetriSched {
                     self.choice_cache.remove(&p.spec.id);
                 }
                 continue;
+            }
+            if self.config.lint_models {
+                let diags = lint_expr(&req.expr, &lint_ctx);
+                if has_errors(&diags) {
+                    record_job_failure_in(
+                        &mut self.compile_failures,
+                        &mut self.choice_cache,
+                        self.config.max_compile_failures,
+                        p.spec.id,
+                        CycleError::Lint {
+                            job: Some(p.spec.id),
+                            detail: summarize_errors(&diags),
+                        },
+                        d,
+                    );
+                    continue;
+                }
             }
             let leaf_sets = collect_leaf_sets(std::iter::once(&req.expr));
             let partitions = PartitionSet::refine(ctx.cluster.num_nodes(), &leaf_sets);
@@ -343,17 +417,30 @@ impl TetriSched {
                 Err(e) => {
                     // Skip just this job (and quarantine repeat offenders);
                     // the rest of the batch still schedules.
-                    record_compile_failure_in(
+                    record_job_failure_in(
                         &mut self.compile_failures,
                         &mut self.choice_cache,
                         self.config.max_compile_failures,
                         p.spec.id,
-                        e.to_string(),
+                        CycleError::Compile {
+                            job: Some(p.spec.id),
+                            detail: e.to_string(),
+                        },
                         d,
                     );
                     continue;
                 }
             };
+            if self.config.lint_models {
+                let diags = lint_model(&compiled.model);
+                if has_errors(&diags) {
+                    d.errors.push(CycleError::Lint {
+                        job: Some(p.spec.id),
+                        detail: summarize_errors(&diags),
+                    });
+                    continue;
+                }
+            }
             let t0 = Instant::now();
             let sol = self.backend().solve(&compiled.model, None);
             d.solver_time += t0.elapsed();
@@ -366,6 +453,9 @@ impl TetriSched {
                     continue;
                 }
             };
+            if sol.stats.presolve_certified {
+                d.lint_presolve_rejections += 1;
+            }
             if !sol.status.has_solution() {
                 d.errors.push(CycleError::NoSolution {
                     detail: format!("{:?}", sol.status),
@@ -579,21 +669,20 @@ impl Scheduler for TetriSched {
     }
 }
 
-/// Field-level body of [`TetriSched::record_compile_failure`]; standalone
-/// so call sites holding a borrow of `config` (via the STRL generator) can
-/// still reach the quarantine state.
-fn record_compile_failure_in(
+/// Field-level body of [`TetriSched::record_job_failure`]; standalone so
+/// call sites holding a borrow of `config` (via the STRL generator) can
+/// still reach the quarantine state. Compile failures and lint rejections
+/// share one strike counter: either way the job's expression cannot be
+/// handed to the solver.
+fn record_job_failure_in(
     compile_failures: &mut HashMap<JobId, u32>,
     choice_cache: &mut HashMap<JobId, (OptionKey, Time)>,
     max_compile_failures: u32,
     job: JobId,
-    detail: String,
+    err: CycleError,
     d: &mut CycleDecisions,
 ) {
-    d.errors.push(CycleError::Compile {
-        job: Some(job),
-        detail,
-    });
+    d.errors.push(err);
     let n = compile_failures.entry(job).or_insert(0);
     *n += 1;
     if *n >= max_compile_failures {
@@ -601,6 +690,17 @@ fn record_compile_failure_in(
         choice_cache.remove(&job);
         compile_failures.remove(&job);
     }
+}
+
+/// Compact one-line rendering of the Error-severity diagnostics in a lint
+/// result, for [`CycleError::Lint`] details.
+fn summarize_errors(diags: &[Diagnostic]) -> String {
+    diags
+        .iter()
+        .filter(|diag| diag.severity >= Severity::Error)
+        .map(|diag| diag.to_string())
+        .collect::<Vec<_>>()
+        .join("; ")
 }
 
 /// Priority rank of a job class (lower runs first), mirroring the paper's
@@ -1062,6 +1162,31 @@ mod tests {
         assert_eq!(report.metrics.be_completed, 1);
         let done = report.outcomes[&JobId(0)].completion().unwrap();
         assert!(done > 50, "restart must lose progress (done at {done})");
+    }
+
+    #[test]
+    fn lint_models_knob_is_clean_on_generated_work() {
+        // With the on-cycle linter enabled, generator-emitted expressions
+        // and compiler-emitted models must pass at Error severity: the run
+        // behaves exactly as with the knob off and counts zero rejections.
+        let jobs = || {
+            vec![
+                job(0, 0, JobType::Gpu, 2, 30, 2.0, Some(200)),
+                job(1, 0, JobType::Mpi, 3, 30, 2.0, Some(200)),
+                job(2, 0, JobType::Unconstrained, 2, 30, 1.0, None),
+            ]
+        };
+        for cfg in [TetriSchedConfig::full(16), TetriSchedConfig::no_global(16)] {
+            let lint_cfg = TetriSchedConfig {
+                lint_models: true,
+                ..cfg
+            };
+            let report = run(Cluster::uniform(4, 4, 1), lint_cfg, jobs());
+            assert_eq!(report.metrics.lint_errors, 0);
+            assert_eq!(report.metrics.lint_presolve_rejections, 0);
+            assert_eq!(report.metrics.accepted_slo_met, 2);
+            assert_eq!(report.metrics.be_completed, 1);
+        }
     }
 
     #[test]

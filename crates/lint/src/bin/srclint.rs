@@ -1,0 +1,110 @@
+//! `srclint`: the workspace invariant linter.
+//!
+//! Walks the workspace's `.rs`/`Cargo.toml` files and enforces the repo
+//! invariants documented in DESIGN.md (codes `L001`–`L003`): simulation
+//! determinism (no stray wall-clock reads), no `unwrap()` in scheduler/
+//! ledger hot paths, and no non-vendored dependencies. Offline and fast;
+//! run it from anywhere inside the workspace:
+//!
+//! ```text
+//! cargo run -p lint --bin srclint [-- --root <dir>] [--json]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lint::{lint_workspace, render_json, render_pretty};
+
+/// Ascends from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+fn find_workspace_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("srclint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: srclint [--root <dir>] [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("srclint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("srclint: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "srclint: no workspace root found above the current \
+                         directory; pass --root"
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("srclint: scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", render_json(&report.diagnostics));
+    } else if report.diagnostics.is_empty() {
+        println!(
+            "srclint: {} files clean under {}",
+            report.files_scanned,
+            root.display()
+        );
+    } else {
+        print!("{}", render_pretty(&report.diagnostics));
+    }
+
+    if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,30 @@
+//! `tetrisched-lint`: static analysis for the TetriSched workspace.
+//!
+//! Two analysis engines share one structured [`Diagnostic`] type:
+//!
+//! 1. **Model analysis** — semantic passes over STRL expressions
+//!    ([`lint_expr`], codes `S001`–`S009`) and compiled MILP models
+//!    ([`lint_model`], codes `M001`–`M007`; the MILP passes live in
+//!    `tetrisched_milp::lint` so the solver can run them without a
+//!    dependency cycle, and are re-exported here). Error-severity MILP
+//!    findings carry machine-checkable infeasibility [`Certificate`]s.
+//! 2. **Source analysis** — [`lint_workspace`] (and the `srclint` binary)
+//!    walks the workspace's `.rs`/`Cargo.toml` files enforcing repo
+//!    invariants: no wall-clock reads outside an allowlist (codes `L001`),
+//!    no `unwrap()` in scheduler/ledger hot paths (`L002`), and no
+//!    non-vendored external dependency in any manifest (`L003`).
+//!
+//! Findings render as pretty text ([`render_pretty`]) or JSON
+//! ([`render_json`]). The full diagnostic-code table lives in DESIGN.md.
+
+pub mod render;
+pub mod src_lint;
+pub mod strl_lint;
+
+pub use render::{render_json, render_pretty};
+pub use src_lint::{lint_workspace, SrcLintReport};
+pub use strl_lint::{lint_expr, StrlLintContext};
+pub use tetrisched_milp::lint::{
+    debug_precheck, has_errors, lint_model, propagate_bounds, CertTerm, Certificate, Diagnostic,
+    Propagation, Severity,
+};

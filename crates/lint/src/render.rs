@@ -1,0 +1,122 @@
+//! Diagnostic renderers: pretty terminal text and line-oriented JSON.
+//!
+//! JSON is hand-rolled (the workspace vendors no serde); the output is one
+//! object per diagnostic inside a top-level array, stable enough for CI to
+//! parse with any JSON reader.
+
+use std::fmt::Write as _;
+
+use tetrisched_milp::lint::{Diagnostic, Severity};
+
+/// Renders diagnostics as human-readable lines, one per finding, with a
+/// trailing severity tally.
+pub fn render_pretty(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        let _ = writeln!(out, "{}[{}]: {}", d.severity, d.code, d.message);
+        let _ = writeln!(out, "  --> {}", d.context);
+        if let Some(cert) = &d.certificate {
+            let _ = writeln!(out, "  certificate: {cert}");
+        }
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    let _ = writeln!(
+        out,
+        "{} error{}, {} warning{}",
+        errors,
+        if errors == 1 { "" } else { "s" },
+        warnings,
+        if warnings == 1 { "" } else { "s" },
+    );
+    out
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders diagnostics as a JSON array of objects with `code`, `severity`,
+/// `message`, `context`, and (when present) a rendered `certificate`.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"context\":\"{}\"",
+            json_escape(d.code),
+            d.severity,
+            json_escape(&d.message),
+            json_escape(&d.context),
+        );
+        if let Some(cert) = &d.certificate {
+            let _ = write!(
+                out,
+                ",\"certificate\":\"{}\"",
+                json_escape(&cert.to_string())
+            );
+        }
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::new("S001", Severity::Error, "empty \"set\"", "nCk({}, k=1)"),
+            Diagnostic::new("M006", Severity::Warning, "big-M", "row `supply`"),
+        ]
+    }
+
+    #[test]
+    fn pretty_includes_tally() {
+        let out = render_pretty(&sample());
+        assert!(out.contains("error[S001]"));
+        assert!(out.contains("warning[M006]"));
+        assert!(out.contains("1 error, 1 warning"));
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let out = render_json(&sample());
+        assert!(out.starts_with('[') && out.ends_with(']'));
+        assert!(out.contains("\\\"set\\\""));
+        assert!(out.contains("\"severity\":\"error\""));
+        // Two objects.
+        assert_eq!(out.matches("\"code\"").count(), 2);
+    }
+
+    #[test]
+    fn json_empty_is_empty_array() {
+        assert_eq!(render_json(&[]), "[]");
+    }
+}

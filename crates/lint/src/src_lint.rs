@@ -1,0 +1,287 @@
+//! Workspace invariant linting over source files (codes `L001`–`L003`).
+//!
+//! The simulator's reproducibility and the offline build both rest on
+//! conventions that rustc cannot enforce. This pass walks the workspace's
+//! `.rs` and `Cargo.toml` files and machine-checks them:
+//!
+//! - `L001` — no wall-clock reads (`Instant::now` / `SystemTime`) outside
+//!   an explicit allowlist. Simulated time must come from the engine;
+//!   wall-clock is only legitimate for solver budgets and report timing.
+//! - `L002` — no `unwrap()` in scheduler/ledger hot paths (the `cluster`,
+//!   `core`, and `milp` crates' non-test code). Invariants are spelled out
+//!   with `expect()` or propagated as `Result`s.
+//! - `L003` — no non-vendored dependency in any `Cargo.toml`: every entry
+//!   must be a `path` dependency or inherit one via `workspace = true`
+//!   (the build environment cannot reach crates.io).
+//!
+//! Test modules (`#[cfg(test)]` and beyond), `tests/`/`benches/` trees, and
+//! comment lines are exempt from the `.rs` rules. The scan is line-based
+//! and offline-friendly: no rustc, no network.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use tetrisched_milp::lint::{Diagnostic, Severity};
+
+// The needles are assembled at compile time so this file does not match
+// its own rules when the linter scans itself.
+const WALL_CLOCK_PATTERNS: [&str; 2] = [concat!("Instant", "::now"), concat!("System", "Time")];
+const UNWRAP_PATTERN: &str = concat!(".unwrap", "()");
+const CFG_TEST_PATTERN: &str = concat!("#[cfg", "(test)]");
+
+/// Files (workspace-relative, `/`-separated) allowed to read the wall
+/// clock: solver time budgets, engine cycle-latency metrics, and report
+/// timing. Everything else must use simulated time.
+const WALL_CLOCK_ALLOWLIST: [&str; 6] = [
+    "crates/milp/src/branch_bound.rs",
+    "crates/milp/src/backend.rs",
+    "crates/sim/src/engine.rs",
+    "crates/core/src/scheduler.rs",
+    "crates/bench/src/bin/report.rs",
+    "crates/criterion/src/lib.rs",
+];
+
+/// Crate subtrees whose non-test code must not call `unwrap()`.
+const NO_UNWRAP_PREFIXES: [&str; 3] = [
+    "crates/cluster/src/",
+    "crates/core/src/",
+    "crates/milp/src/",
+];
+
+/// Files allowed to keep `unwrap()` in hot paths. Kept honest and empty
+/// after the PR-3 burn-down; add entries only with a comment explaining
+/// the invariant.
+const UNWRAP_ALLOWLIST: [&str; 0] = [];
+
+/// Result of a workspace scan.
+#[derive(Debug, Default)]
+pub struct SrcLintReport {
+    /// Findings, in walk order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned (`.rs` + `Cargo.toml`).
+    pub files_scanned: usize,
+}
+
+/// Scans the workspace rooted at `root` and returns all findings.
+pub fn lint_workspace(root: &Path) -> io::Result<SrcLintReport> {
+    let mut report = SrcLintReport::default();
+    walk(root, root, &mut report)?;
+    Ok(report)
+}
+
+fn walk(root: &Path, dir: &Path, report: &mut SrcLintReport) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, report)?;
+        } else if name == "Cargo.toml" {
+            report.files_scanned += 1;
+            lint_manifest(root, &path, report)?;
+        } else if name.ends_with(".rs") {
+            let rel = rel_path(root, &path);
+            // Integration tests and benches may use wall clock and unwrap.
+            if rel.split('/').any(|seg| seg == "tests" || seg == "benches") {
+                continue;
+            }
+            report.files_scanned += 1;
+            lint_rust_file(&rel, &path, report)?;
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn lint_rust_file(rel: &str, path: &Path, report: &mut SrcLintReport) -> io::Result<()> {
+    let text = fs::read_to_string(path)?;
+    let wall_clock_allowed = WALL_CLOCK_ALLOWLIST.contains(&rel);
+    let unwrap_checked =
+        NO_UNWRAP_PREFIXES.iter().any(|p| rel.starts_with(p)) && !UNWRAP_ALLOWLIST.contains(&rel);
+    for (i, line) in text.lines().enumerate() {
+        // Everything from the first test-module marker on is test code.
+        if line.contains(CFG_TEST_PATTERN) {
+            break;
+        }
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let lineno = i + 1;
+        if !wall_clock_allowed {
+            for pat in WALL_CLOCK_PATTERNS {
+                if trimmed.contains(pat) {
+                    report.diagnostics.push(Diagnostic::new(
+                        "L001",
+                        Severity::Error,
+                        format!(
+                            "wall-clock read (`{pat}`) outside the allowlist breaks \
+                             simulation determinism"
+                        ),
+                        format!("{rel}:{lineno}"),
+                    ));
+                }
+            }
+        }
+        if unwrap_checked && trimmed.contains(UNWRAP_PATTERN) {
+            report.diagnostics.push(Diagnostic::new(
+                "L002",
+                Severity::Error,
+                "`unwrap()` in a scheduler/ledger hot path; use `expect()` with an \
+                 invariant message or propagate a `Result`",
+                format!("{rel}:{lineno}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Whether a manifest section header declares a dependency table.
+fn is_dep_section(header: &str) -> bool {
+    let h = header.trim_start_matches('[').trim_end_matches(']');
+    h == "dependencies"
+        || h == "dev-dependencies"
+        || h == "build-dependencies"
+        || h == "workspace.dependencies"
+        || (h.starts_with("target.") && h.ends_with(".dependencies"))
+}
+
+/// A `[dependencies.foo]`-style subsection header; returns the dep name.
+fn dep_subsection(header: &str) -> Option<&str> {
+    let h = header.trim_start_matches('[').trim_end_matches(']');
+    for prefix in [
+        "dependencies.",
+        "dev-dependencies.",
+        "build-dependencies.",
+        "workspace.dependencies.",
+    ] {
+        if let Some(name) = h.strip_prefix(prefix) {
+            return Some(name);
+        }
+    }
+    None
+}
+
+/// Whether an inline dependency value is vendored (a `path` dependency or
+/// a `workspace = true` inheritance).
+fn value_is_vendored(value: &str) -> bool {
+    value.contains("path") || value.contains("workspace")
+}
+
+fn lint_manifest(root: &Path, path: &Path, report: &mut SrcLintReport) -> io::Result<()> {
+    let rel = rel_path(root, path);
+    let text = fs::read_to_string(path)?;
+
+    // (name, header line, any line proved it vendored) for the open
+    // `[dependencies.foo]` subsection, if any.
+    let mut open_subsection: Option<(String, usize, bool)> = None;
+    let mut in_dep_table = false;
+
+    let flush = |sub: &mut Option<(String, usize, bool)>, diags: &mut Vec<Diagnostic>| {
+        if let Some((name, lineno, vendored)) = sub.take() {
+            if !vendored {
+                diags.push(Diagnostic::new(
+                    "L003",
+                    Severity::Error,
+                    format!(
+                        "dependency `{name}` is not vendored: declare it with a \
+                         `path` or `workspace = true` (no crates.io access)"
+                    ),
+                    format!("{rel}:{lineno}"),
+                ));
+            }
+        }
+    };
+
+    for (i, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        let lineno = i + 1;
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if trimmed.starts_with('[') {
+            flush(&mut open_subsection, &mut report.diagnostics);
+            if let Some(name) = dep_subsection(trimmed) {
+                in_dep_table = false;
+                open_subsection = Some((name.to_string(), lineno, false));
+            } else {
+                in_dep_table = is_dep_section(trimmed);
+            }
+            continue;
+        }
+        if let Some((_, _, vendored)) = &mut open_subsection {
+            if trimmed.starts_with("path") || trimmed.contains("workspace = true") {
+                *vendored = true;
+            }
+            continue;
+        }
+        if in_dep_table {
+            if let Some((key, value)) = trimmed.split_once('=') {
+                let key = key.trim();
+                // `foo.workspace = true` is already vendored by inheritance.
+                let inherits = key.ends_with(".workspace");
+                if !inherits && !value_is_vendored(value) {
+                    let name = key.split('.').next().unwrap_or(key);
+                    report.diagnostics.push(Diagnostic::new(
+                        "L003",
+                        Severity::Error,
+                        format!(
+                            "dependency `{name}` is not vendored: declare it with a \
+                             `path` or `workspace = true` (no crates.io access)"
+                        ),
+                        format!("{rel}:{lineno}"),
+                    ));
+                }
+            }
+        }
+    }
+    flush(&mut open_subsection, &mut report.diagnostics);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dep_section_recognition() {
+        assert!(is_dep_section("[dependencies]"));
+        assert!(is_dep_section("[dev-dependencies]"));
+        assert!(is_dep_section("[workspace.dependencies]"));
+        assert!(is_dep_section("[target.'cfg(unix)'.dependencies]"));
+        assert!(!is_dep_section("[package]"));
+        assert!(!is_dep_section("[profile.release]"));
+    }
+
+    #[test]
+    fn subsection_recognition() {
+        assert_eq!(dep_subsection("[dependencies.serde]"), Some("serde"));
+        assert_eq!(dep_subsection("[dev-dependencies.rand]"), Some("rand"));
+        assert_eq!(dep_subsection("[package]"), None);
+        assert_eq!(dep_subsection("[dependencies]"), None);
+    }
+
+    #[test]
+    fn vendored_values() {
+        assert!(value_is_vendored(" { path = \"crates/rand\" }"));
+        assert!(value_is_vendored(" { workspace = true }"));
+        assert!(!value_is_vendored(" \"1.0\""));
+        assert!(!value_is_vendored(
+            " { version = \"1.0\", features = [\"x\"] }"
+        ));
+    }
+}

@@ -69,6 +69,8 @@ impl HeuristicBackend {
 impl MilpBackend for HeuristicBackend {
     fn solve(&self, model: &Model, warm: Option<&[f64]>) -> Result<Solution> {
         model.validate()?;
+        // Same certificate cross-check as the exact path (debug builds only).
+        crate::lint::debug_precheck(model);
         let start = std::time::Instant::now();
         let mut stats = SolverStats::default();
         let simplex = Simplex::new(self.config.max_lp_iterations);

@@ -69,6 +69,9 @@ impl BranchBound {
     /// silently ignored, matching MILP-solver convention.
     pub fn solve(&self, model: &Model, warm: Option<&[f64]>) -> Result<Solution> {
         model.validate()?;
+        // Debug builds cross-check every lint infeasibility certificate
+        // against the model; compiled out in release builds.
+        crate::lint::debug_precheck(model);
         let start = Instant::now();
         let cfg = &self.config;
         let simplex = Simplex::new(cfg.max_lp_iterations);
@@ -81,7 +84,8 @@ impl BranchBound {
         let presolved;
         let model: &Model = if cfg.enable_presolve {
             match crate::presolve::presolve(model, 2) {
-                crate::presolve::PresolveOutcome::Infeasible => {
+                crate::presolve::PresolveOutcome::Infeasible { certificate } => {
+                    stats.presolve_certified = certificate.is_some();
                     stats.wall_secs = start.elapsed().as_secs_f64();
                     return Ok(Solution {
                         status: SolveStatus::Infeasible,
@@ -205,7 +209,7 @@ impl BranchBound {
                 if gap <= cfg.rel_gap {
                     stats.final_gap = gap.max(0.0);
                     stats.wall_secs = start.elapsed().as_secs_f64();
-                    let (obj, values) = incumbent.unwrap();
+                    let (obj, values) = incumbent.expect("gap termination requires an incumbent");
                     return Ok(Solution {
                         status: SolveStatus::Optimal,
                         objective: obj,
@@ -409,6 +413,8 @@ mod tests {
         m.add_constraint("lo", [(x, 1.0), (y, 1.0)], Sense::Ge, 3.0);
         let sol = m.solve(&exact()).unwrap();
         assert_eq!(sol.status, SolveStatus::Infeasible);
+        // Presolve's bound propagation certifies this without simplex.
+        assert!(sol.stats.presolve_certified);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod branch_bound;
 pub mod config;
 pub mod error;
 pub mod heuristics;
+pub mod lint;
 pub mod model;
 pub mod presolve;
 pub mod simplex;
@@ -50,6 +51,10 @@ pub use backend::{ExactBackend, HeuristicBackend, MilpBackend};
 pub use branch_bound::BranchBound;
 pub use config::SolverConfig;
 pub use error::{MilpError, Result};
+pub use lint::{
+    debug_precheck, lint_model, propagate_bounds, CertTerm, Certificate, Diagnostic, Propagation,
+    Severity,
+};
 pub use model::{ConstraintId, LinExpr, Model, Sense, VarId, VarKind};
 pub use presolve::{presolve, PresolveOutcome};
 pub use simplex::{LpOutcome, Simplex};

@@ -3,20 +3,22 @@
 //! STRL compilation emits many structurally simple rows (demand equalities,
 //! small supply caps). Presolve shrinks the LP work per node:
 //!
-//! - **null rows** (no terms) are checked against their sense and dropped,
-//! - **singleton rows** (one variable) are converted into variable bounds,
-//! - **redundant `<=`/`>=` rows** — those satisfied by every point inside
-//!   the variable bounds — are dropped,
 //! - **bound tightening** propagates row activity bounds into variable
-//!   bounds (and rounds integer bounds inward),
+//!   bounds (and rounds integer bounds inward) via [`crate::lint::propagate_bounds`],
+//!   the same pass the lint layer uses for its diagnostics,
+//! - **null rows** (no terms) are checked against their sense and dropped,
+//! - **redundant `<=`/`>=` rows** — those satisfied by every point inside
+//!   the tightened variable bounds — are dropped,
 //! - obvious **infeasibility** (a row whose best achievable activity still
 //!   violates it, or crossed bounds) is detected without invoking the
-//!   solver.
+//!   solver, and is returned with the lint layer's machine-checkable
+//!   [`Certificate`] so callers can audit the rejection.
 //!
 //! Variables are never removed or reindexed, so a solution of the presolved
 //! model is directly a solution of the original.
 
-use crate::model::{Model, Sense, VarKind};
+use crate::lint::{propagate_bounds, Certificate};
+use crate::model::{Model, Sense};
 
 /// Outcome of presolving a model.
 #[derive(Debug)]
@@ -31,7 +33,11 @@ pub enum PresolveOutcome {
         bounds_tightened: usize,
     },
     /// The model is infeasible; no solve needed.
-    Infeasible,
+    Infeasible {
+        /// Machine-checkable refutation, when bound propagation produced
+        /// one (`None` only for defensive fallback paths).
+        certificate: Option<Certificate>,
+    },
 }
 
 /// Bounds on a row's activity given current variable bounds.
@@ -55,103 +61,32 @@ fn activity_bounds(model: &Model, terms: &[(crate::model::VarId, f64)]) -> (f64,
 /// usually enough for STRL-shaped models).
 pub fn presolve(model: &Model, passes: usize) -> PresolveOutcome {
     const TOL: f64 = 1e-9;
+
+    let prop = propagate_bounds(model, passes.max(1));
+    if let Some(cert) = prop.certificates.into_iter().next() {
+        return PresolveOutcome::Infeasible {
+            certificate: Some(cert),
+        };
+    }
+
+    // Apply the propagated bounds, counting changed bound sides.
     let mut m = model.clone();
-    let mut rows_dropped = 0usize;
     let mut bounds_tightened = 0usize;
-
-    for _ in 0..passes.max(1) {
-        // Bound tightening from each row.
-        for ci in 0..m.num_constraints() {
-            let c = m.constraint(crate::model::ConstraintId(ci)).clone();
-            let terms = crate::model::LinExpr {
-                terms: c.terms.clone(),
-                constant: 0.0,
-            }
-            .compact()
-            .terms;
-            if terms.is_empty() {
-                continue;
-            }
-            let (act_lo, act_hi) = activity_bounds(&m, &terms);
-            // For `<=` rows (and the `<=` side of `=`): each variable's
-            // contribution is bounded by rhs minus the minimum of the rest.
-            let tighten_le = matches!(c.sense, Sense::Le | Sense::Eq);
-            let tighten_ge = matches!(c.sense, Sense::Ge | Sense::Eq);
-            for &(v, coeff) in &terms {
-                if coeff.abs() < TOL {
-                    continue;
-                }
-                let var = m.var(v).clone();
-                // Minimum contribution of the other terms.
-                let (self_lo, self_hi) = if coeff >= 0.0 {
-                    (coeff * var.lb, coeff * var.ub)
-                } else {
-                    (coeff * var.ub, coeff * var.lb)
-                };
-                let rest_lo = act_lo - self_lo;
-                let rest_hi = act_hi - self_hi;
-                if tighten_le && rest_lo.is_finite() {
-                    // coeff * x <= rhs - rest_lo.
-                    let cap = c.rhs - rest_lo;
-                    if coeff > 0.0 {
-                        let mut new_ub = cap / coeff;
-                        if var.kind != VarKind::Continuous {
-                            new_ub = (new_ub + TOL).floor();
-                        }
-                        if new_ub < var.ub - TOL {
-                            m.set_bounds(v, var.lb, new_ub);
-                            bounds_tightened += 1;
-                        }
-                    } else {
-                        let mut new_lb = cap / coeff;
-                        if var.kind != VarKind::Continuous {
-                            new_lb = (new_lb - TOL).ceil();
-                        }
-                        if new_lb > var.lb + TOL {
-                            m.set_bounds(v, new_lb, var.ub);
-                            bounds_tightened += 1;
-                        }
-                    }
-                }
-                let var = m.var(v).clone();
-                if tighten_ge && rest_hi.is_finite() {
-                    // coeff * x >= rhs - rest_hi.
-                    let floor_val = c.rhs - rest_hi;
-                    if coeff > 0.0 {
-                        let mut new_lb = floor_val / coeff;
-                        if var.kind != VarKind::Continuous {
-                            new_lb = (new_lb - TOL).ceil();
-                        }
-                        if new_lb > var.lb + TOL {
-                            m.set_bounds(v, new_lb, var.ub);
-                            bounds_tightened += 1;
-                        }
-                    } else {
-                        let mut new_ub = floor_val / coeff;
-                        if var.kind != VarKind::Continuous {
-                            new_ub = (new_ub + TOL).floor();
-                        }
-                        if new_ub < var.ub - TOL {
-                            m.set_bounds(v, var.lb, new_ub);
-                            bounds_tightened += 1;
-                        }
-                    }
-                }
-            }
+    for (j, &(lb, ub)) in prop.bounds.iter().enumerate() {
+        let v = crate::model::VarId(j);
+        let old = m.var(v).clone();
+        let lb_changed = (lb - old.lb).abs() > TOL || (lb.is_finite() != old.lb.is_finite());
+        let ub_changed = (ub - old.ub).abs() > TOL || (ub.is_finite() != old.ub.is_finite());
+        if lb_changed || ub_changed {
+            m.set_bounds(v, lb, ub);
+            bounds_tightened += usize::from(lb_changed) + usize::from(ub_changed);
         }
     }
 
-    // Crossed bounds mean infeasible.
-    for v in m.vars() {
-        if v.lb > v.ub + 1e-7 {
-            return PresolveOutcome::Infeasible;
-        }
-    }
-
-    // Row filtering.
+    // Row filtering over the tightened bounds.
+    let mut rows_dropped = 0usize;
     let mut kept = Model::maximize();
-    for (i, v) in m.vars().iter().enumerate() {
-        let _ = i;
+    for v in m.vars() {
         kept.add_var(v.name.clone(), v.kind, v.lb, v.ub, v.obj);
     }
     kept.objective_offset = m.objective_offset;
@@ -165,27 +100,31 @@ pub fn presolve(model: &Model, passes: usize) -> PresolveOutcome {
         .terms;
         if terms.is_empty() {
             let ok = match c.sense {
-                Sense::Le => 0.0 <= c.rhs + 1e-9,
-                Sense::Ge => 0.0 >= c.rhs - 1e-9,
-                Sense::Eq => c.rhs.abs() <= 1e-9,
+                Sense::Le => 0.0 <= c.rhs + TOL,
+                Sense::Ge => 0.0 >= c.rhs - TOL,
+                Sense::Eq => c.rhs.abs() <= TOL,
             };
             if !ok {
-                return PresolveOutcome::Infeasible;
+                // Unreachable in practice: propagation certifies violated
+                // null rows. Kept as a defensive guard.
+                return PresolveOutcome::Infeasible { certificate: None };
             }
             rows_dropped += 1;
             continue;
         }
         let (act_lo, act_hi) = activity_bounds(&kept, &terms);
         let (redundant, infeasible) = match c.sense {
-            Sense::Le => (act_hi <= c.rhs + 1e-9, act_lo > c.rhs + 1e-7),
-            Sense::Ge => (act_lo >= c.rhs - 1e-9, act_hi < c.rhs - 1e-7),
+            Sense::Le => (act_hi <= c.rhs + TOL, act_lo > c.rhs + 1e-7),
+            Sense::Ge => (act_lo >= c.rhs - TOL, act_hi < c.rhs - 1e-7),
             Sense::Eq => (
-                (act_lo - c.rhs).abs() <= 1e-9 && (act_hi - c.rhs).abs() <= 1e-9,
+                (act_lo - c.rhs).abs() <= TOL && (act_hi - c.rhs).abs() <= TOL,
                 act_lo > c.rhs + 1e-7 || act_hi < c.rhs - 1e-7,
             ),
         };
         if infeasible {
-            return PresolveOutcome::Infeasible;
+            // Also unreachable: propagation checks rows against the same
+            // final bounds. Defensive guard only.
+            return PresolveOutcome::Infeasible { certificate: None };
         }
         if redundant {
             rows_dropped += 1;
@@ -244,7 +183,13 @@ mod tests {
         let x = m.add_var("x", VarKind::Continuous, 0.0, 1.0, 1.0);
         let y = m.add_var("y", VarKind::Continuous, 0.0, 1.0, 1.0);
         m.add_constraint("impossible", [(x, 1.0), (y, 1.0)], Sense::Ge, 3.0);
-        assert!(matches!(presolve(&m, 1), PresolveOutcome::Infeasible));
+        let PresolveOutcome::Infeasible { certificate } = presolve(&m, 1) else {
+            panic!("expected infeasible");
+        };
+        certificate
+            .expect("propagation produces a certificate")
+            .verify(&m)
+            .expect("certificate verifies against the original model");
     }
 
     #[test]
@@ -260,7 +205,10 @@ mod tests {
         let mut m = Model::maximize();
         m.add_var("x", VarKind::Continuous, 0.0, 1.0, 1.0);
         m.add_constraint("broken", [], Sense::Ge, 5.0);
-        assert!(matches!(presolve(&m, 1), PresolveOutcome::Infeasible));
+        assert!(matches!(
+            presolve(&m, 1),
+            PresolveOutcome::Infeasible { .. }
+        ));
     }
 
     #[test]
@@ -286,6 +234,12 @@ mod tests {
     fn crossed_input_bounds_infeasible() {
         let mut m = Model::maximize();
         m.add_var("x", VarKind::Continuous, 2.0, 1.0, 1.0);
-        assert!(matches!(presolve(&m, 1), PresolveOutcome::Infeasible));
+        let PresolveOutcome::Infeasible { certificate } = presolve(&m, 1) else {
+            panic!("expected infeasible");
+        };
+        assert!(matches!(
+            certificate,
+            Some(Certificate::CrossedBounds { .. })
+        ));
     }
 }

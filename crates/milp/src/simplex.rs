@@ -473,13 +473,12 @@ impl Tableau {
                 let limit = limit.max(0.0);
                 let better = match leave {
                     None => limit < t_best - 1e-12,
-                    Some((_, _, best_alpha)) => {
+                    Some((best_row, _, best_alpha)) => {
                         limit < t_best - 1e-12
                             || (limit < t_best + 1e-12 && {
                                 if bland {
                                     // Bland: smallest basis index wins ties.
-                                    let (r, _, _) = leave.unwrap();
-                                    b < self.basis[r]
+                                    b < self.basis[best_row]
                                 } else {
                                     alpha.abs() > best_alpha
                                 }

@@ -42,6 +42,9 @@ pub struct SolverStats {
     pub final_gap: f64,
     /// Whether the incumbent came from the warm start.
     pub warm_start_used: bool,
+    /// Whether an `Infeasible` status was established by presolve's bound
+    /// propagation with a machine-checkable certificate (no simplex run).
+    pub presolve_certified: bool,
 }
 
 /// Result of solving a [`crate::Model`].

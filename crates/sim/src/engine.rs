@@ -463,8 +463,10 @@ impl<S: Scheduler> Simulator<S> {
                 CycleError::Solver { .. } | CycleError::NoSolution { .. } => {
                     metrics.solver_errors += 1
                 }
+                CycleError::Lint { .. } => metrics.lint_errors += 1,
             }
         }
+        metrics.lint_presolve_rejections += decisions.lint_presolve_rejections;
         if decisions.degraded {
             metrics.degraded_cycles += 1;
             metrics.solver_fallbacks += 1;

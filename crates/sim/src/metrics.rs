@@ -120,6 +120,12 @@ pub struct Metrics {
     pub compile_errors: usize,
     /// Solver errors / no-solution outcomes surfaced by cycles.
     pub solver_errors: usize,
+    /// Error-severity lint rejections surfaced by cycles (the
+    /// `lint_models` knob).
+    pub lint_errors: usize,
+    /// Solves settled by a presolve infeasibility certificate without
+    /// entering simplex.
+    pub lint_presolve_rejections: usize,
     /// Node-seconds lost to down nodes over the simulated span.
     pub down_node_seconds: u64,
 }

@@ -95,6 +95,16 @@ pub enum CycleError {
         /// Solver status rendering.
         detail: String,
     },
+    /// Static analysis rejected a generated STRL expression or compiled
+    /// MILP model at Error severity before it reached the solver (the
+    /// `lint_models` knob).
+    Lint {
+        /// The offending job, when the finding is per-job; `None` for the
+        /// cycle's aggregate model.
+        job: Option<JobId>,
+        /// Rendered Error-severity diagnostics.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CycleError {
@@ -111,6 +121,15 @@ impl std::fmt::Display for CycleError {
             }
             CycleError::Solver { detail } => write!(f, "solver error: {detail}"),
             CycleError::NoSolution { detail } => write!(f, "no solution: {detail}"),
+            CycleError::Lint {
+                job: Some(j),
+                detail,
+            } => {
+                write!(f, "lint rejected {j:?}: {detail}")
+            }
+            CycleError::Lint { job: None, detail } => {
+                write!(f, "lint rejected aggregate model: {detail}")
+            }
         }
     }
 }
@@ -144,6 +163,10 @@ pub struct CycleDecisions {
     /// produced the decisions instead. The engine counts degraded cycles
     /// as solver fallbacks.
     pub degraded: bool,
+    /// How many solves this cycle were settled by a presolve
+    /// infeasibility certificate (lint bound propagation) without
+    /// entering simplex.
+    pub lint_presolve_rejections: usize,
 }
 
 /// A pluggable cluster scheduler.
@@ -238,5 +261,16 @@ mod tests {
         }
         .to_string()
         .contains("no solution"));
+        let e = CycleError::Lint {
+            job: Some(JobId(7)),
+            detail: "error[S001] empty set".into(),
+        };
+        assert!(e.to_string().contains("JobId(7)"));
+        assert!(e.to_string().contains("S001"));
+        let e = CycleError::Lint {
+            job: None,
+            detail: "error[M004] crossed bounds".into(),
+        };
+        assert!(e.to_string().contains("aggregate model"));
     }
 }

@@ -1,0 +1,115 @@
+//! `lint_corpus`: CI sweep proving generated workloads stay lint-clean.
+//!
+//! Runs the TetriSched scheduler with the on-cycle linter enabled
+//! (`lint_models: true`) over a matrix of Table 1 workloads and scheduler
+//! variants, accumulating at least [`MIN_CYCLES`] scheduling cycles. Every
+//! cycle lints the generated STRL expressions and the compiled MILP model;
+//! any Error-severity finding fails the run.
+//!
+//! ```text
+//! cargo run --release --bin lint_corpus
+//! ```
+//!
+//! Exit codes: `0` corpus clean, `1` Error findings or coverage shortfall.
+
+use std::process::ExitCode;
+
+use tetrisched::cluster::Cluster;
+use tetrisched::core::{TetriSched, TetriSchedConfig};
+use tetrisched::sim::{SimConfig, Simulator};
+use tetrisched::workloads::{GridmixConfig, Workload, WorkloadBuilder};
+
+/// Minimum scheduling cycles the corpus must cover.
+const MIN_CYCLES: usize = 50;
+
+/// One corpus point: a workload under a scheduler variant with a seed.
+fn run_point(workload: Workload, variant_global: bool, seed: u64) -> (usize, usize, usize) {
+    let cluster = Cluster::uniform(4, 6, 2);
+    let jobs = WorkloadBuilder::new(GridmixConfig {
+        seed,
+        num_jobs: 24,
+        cluster_size: cluster.num_nodes(),
+        ..GridmixConfig::default()
+    })
+    .generate(workload);
+    let config = TetriSchedConfig {
+        lint_models: true,
+        ..if variant_global {
+            TetriSchedConfig::full(16)
+        } else {
+            TetriSchedConfig::no_global(16)
+        }
+    };
+    let name = config.variant_name();
+    let report = Simulator::new(
+        cluster,
+        TetriSched::new(config),
+        SimConfig {
+            horizon: Some(4000),
+            ..SimConfig::default()
+        },
+    )
+    .run(jobs);
+    let cycles = report.metrics.cycle_latency.count();
+    println!(
+        "lint_corpus: {:>7} seed {seed:>2} {name:<14} cycles {cycles:>4}  \
+         lint_errors {}  presolve_certified {}",
+        workload.name(),
+        report.metrics.lint_errors,
+        report.metrics.lint_presolve_rejections,
+    );
+    (
+        cycles,
+        report.metrics.lint_errors,
+        report.metrics.lint_presolve_rejections,
+    )
+}
+
+fn main() -> ExitCode {
+    let workloads = [Workload::GrMix, Workload::GsMix, Workload::GsHet];
+    let extra_seeds = [7u64, 42];
+
+    let mut cycles = 0usize;
+    let mut lint_errors = 0usize;
+    let mut presolve_rejections = 0usize;
+    let mut runs = 0usize;
+
+    // Coverage floor: every workload under both variants with the base
+    // seed; then extra seeds until the cycle budget is met.
+    for workload in workloads {
+        for variant_global in [true, false] {
+            let (c, e, p) = run_point(workload, variant_global, 1);
+            runs += 1;
+            cycles += c;
+            lint_errors += e;
+            presolve_rejections += p;
+        }
+    }
+    'extra: for seed in extra_seeds {
+        for workload in workloads {
+            if cycles >= MIN_CYCLES {
+                break 'extra;
+            }
+            let (c, e, p) = run_point(workload, true, seed);
+            runs += 1;
+            cycles += c;
+            lint_errors += e;
+            presolve_rejections += p;
+        }
+    }
+
+    println!(
+        "lint_corpus: {runs} runs, {cycles} cycles, {lint_errors} lint errors, \
+         {presolve_rejections} presolve certificates"
+    );
+    if cycles < MIN_CYCLES {
+        eprintln!("lint_corpus: FAIL — covered {cycles} cycles, need {MIN_CYCLES}");
+        return ExitCode::from(1);
+    }
+    if lint_errors > 0 {
+        eprintln!("lint_corpus: FAIL — {lint_errors} Error-severity lint findings");
+        return ExitCode::from(1);
+    }
+    println!("lint_corpus: PASS");
+    ExitCode::SUCCESS
+}

@@ -12,7 +12,9 @@
 //! - [`core`] — the TetriSched scheduler itself (STRL generation,
 //!   STRL-to-MILP compilation, plan-ahead, global scheduling),
 //! - [`workloads`] — trace-derived and synthetic workload generators,
-//! - [`mod@bench`] — the experiment harness regenerating the paper's figures.
+//! - [`mod@bench`] — the experiment harness regenerating the paper's figures,
+//! - [`mod@lint`] — STRL/MILP semantic diagnostics and the workspace
+//!   invariant linter (`srclint`).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results.
@@ -49,6 +51,7 @@
 //! assert_eq!(sol.objective, 4.0); // the GPU option wins
 //! ```
 
+pub use lint;
 pub use tetrisched_baseline as baseline;
 pub use tetrisched_bench as bench;
 pub use tetrisched_cluster as cluster;
