@@ -45,6 +45,10 @@ pub struct MetricsRow {
     pub lint_errors: usize,
     /// Solves settled by a presolve infeasibility certificate.
     pub lint_presolve_rejections: usize,
+    /// Solver/translation certificates verified (`certify_solves` knob).
+    pub certificates_verified: usize,
+    /// Certificates that failed verification.
+    pub certificate_failures: usize,
 }
 
 impl MetricsRow {
@@ -72,6 +76,8 @@ impl MetricsRow {
             availability: m.availability() * 100.0,
             lint_errors: m.lint_errors,
             lint_presolve_rejections: m.lint_presolve_rejections,
+            certificates_verified: m.certificates_verified,
+            certificate_failures: m.certificate_failures,
         }
     }
 }
@@ -115,6 +121,10 @@ impl MetricsRow {
                 .iter()
                 .map(|r| r.lint_presolve_rejections)
                 .sum::<usize>()
+                / rows.len(),
+            certificates_verified: rows.iter().map(|r| r.certificates_verified).sum::<usize>()
+                / rows.len(),
+            certificate_failures: rows.iter().map(|r| r.certificate_failures).sum::<usize>()
                 / rows.len(),
         }
     }
@@ -223,6 +233,8 @@ mod tests {
             availability: 100.0,
             lint_errors: 0,
             lint_presolve_rejections: 0,
+            certificates_verified: 0,
+            certificate_failures: 0,
         }
     }
 

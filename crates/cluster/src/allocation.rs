@@ -6,7 +6,7 @@
 //! Plan-ahead (Sec. 2.3.2) queries the ledger for availability at future
 //! time slices: a node busy until `e` is available for any slice `t >= e`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::nodeset::NodeSet;
 use crate::Time;
@@ -67,7 +67,7 @@ pub struct Ledger {
     free: NodeSet,
     down: NodeSet,
     owner: Vec<Option<AllocHandle>>,
-    allocs: HashMap<AllocHandle, Alloc>,
+    allocs: BTreeMap<AllocHandle, Alloc>,
 }
 
 impl Ledger {
@@ -78,7 +78,7 @@ impl Ledger {
             free: NodeSet::full(num_nodes),
             down: NodeSet::empty(num_nodes),
             owner: vec![None; num_nodes],
-            allocs: HashMap::new(),
+            allocs: BTreeMap::new(),
         }
     }
 
@@ -268,7 +268,7 @@ impl Ledger {
         self.free_at(within, t).len()
     }
 
-    /// All live allocation handles (unordered).
+    /// All live allocation handles, in ascending handle order.
     pub fn handles(&self) -> impl Iterator<Item = AllocHandle> + '_ {
         self.allocs.keys().copied()
     }

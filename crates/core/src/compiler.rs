@@ -20,7 +20,7 @@
 //! window; a leaf occupies every slice its `[start, start+dur)` interval
 //! intersects.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use tetrisched_cluster::{NodeSet, PartitionSet, Time};
@@ -148,6 +148,27 @@ impl CompiledModel {
         out
     }
 
+    /// Decodes the solution back into STRL space: granted node count per
+    /// leaf, in the same depth-first (pre-order) leaf order the expression
+    /// uses, for translation validation via
+    /// [`tetrisched_strl::StrlExpr::placement_value`]. An unchosen leaf is
+    /// granted zero regardless of its partition variables (the demand
+    /// constraints force them to zero anyway).
+    pub fn granted(&self, sol: &Solution) -> Vec<u32> {
+        self.leaves
+            .iter()
+            .map(|leaf| {
+                if !sol.is_set(leaf.indicator) {
+                    return 0;
+                }
+                leaf.partition_vars
+                    .iter()
+                    .map(|&(_, v)| sol.int_value(v).max(0) as u32)
+                    .sum()
+            })
+            .collect()
+    }
+
     /// Builds a candidate assignment activating the given leaf choices
     /// (with explicit per-class counts), for seeding the solver with the
     /// previous cycle's schedule. The result is *not* guaranteed feasible;
@@ -183,7 +204,7 @@ pub fn compile(
 ) -> Result<CompiledModel, CompileError> {
     let mut ctx = GenCtx {
         model: Model::maximize(),
-        used: HashMap::new(),
+        used: BTreeMap::new(),
         leaves: Vec::new(),
         stack: Vec::new(),
         partitions: input.partitions,
@@ -201,11 +222,9 @@ pub fn compile(
     let objective = ctx.gen(input.expr, root)?;
     ctx.model.add_objective_expr(&objective);
 
-    // Supply constraints: per class per slice, usage <= expected free.
-    let mut keys: Vec<(usize, usize)> = ctx.used.keys().copied().collect();
-    keys.sort_unstable();
-    for (class, slice) in keys {
-        let vars = &ctx.used[&(class, slice)];
+    // Supply constraints: per class per slice, usage <= expected free
+    // (the ordered map makes constraint order deterministic).
+    for (&(class, slice), vars) in &ctx.used {
         let t = input.now + slice as u64 * ctx.quantum;
         let cap = avail(input.partitions.class(class), t);
         ctx.model.add_constraint(
@@ -226,7 +245,7 @@ pub fn compile(
 struct GenCtx<'a> {
     model: Model,
     /// (class, slice) -> partition variables using that capacity.
-    used: HashMap<(usize, usize), Vec<VarId>>,
+    used: BTreeMap<(usize, usize), Vec<VarId>>,
     leaves: Vec<LeafInfo>,
     /// Indicator chain from the root to the current node.
     stack: Vec<VarId>,

@@ -78,6 +78,15 @@ pub struct TetriSchedConfig {
     /// compiler is expected to emit lint-clean models, and the sweep costs
     /// a pass over every model.
     pub lint_models: bool,
+    /// Proof-carrying solves: make every MILP backend emit and self-verify
+    /// optimality/feasibility certificates (primal re-check, dual bounds,
+    /// bound-tree audit replay — codes `C001`–`C003`), and validate the
+    /// STRL→MILP translation by re-evaluating the original expression
+    /// under the chosen placement (`C004`). A failed certificate is
+    /// treated like a solver error: the global cycle degrades to greedy,
+    /// and a greedy job is skipped with a quarantine strike. Off by
+    /// default: certification replays the whole solve audit.
+    pub certify_solves: bool,
 }
 
 impl Default for TetriSchedConfig {
@@ -103,6 +112,7 @@ impl Default for TetriSchedConfig {
             max_compile_failures: 8,
             chaos_global_solve_failures: Vec::new(),
             lint_models: false,
+            certify_solves: false,
         }
     }
 }

@@ -1,9 +1,11 @@
 //! The TetriSched scheduler: global re-planning with adaptive plan-ahead.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
-use lint::{has_errors, lint_expr, lint_model, Diagnostic, Severity, StrlLintContext};
+use lint::{
+    has_errors, lint_expr, lint_model, validate_translation, Diagnostic, Severity, StrlLintContext,
+};
 use tetrisched_cluster::{AllocHandle, Ledger, NodeSet, PartitionSet, Time};
 use tetrisched_milp::{ExactBackend, HeuristicBackend, MilpBackend, SolverConfig};
 use tetrisched_sim::{
@@ -19,9 +21,9 @@ use crate::generator::{JobRequest, LeafTag, OptionKey, StrlGenerator};
 pub struct TetriSched {
     config: TetriSchedConfig,
     /// Last cycle's chosen option per job, for warm starting (Sec. 3.2.2).
-    choice_cache: HashMap<JobId, (OptionKey, Time)>,
+    choice_cache: BTreeMap<JobId, (OptionKey, Time)>,
     /// Consecutive compile failures per job, for quarantine.
-    compile_failures: HashMap<JobId, u32>,
+    compile_failures: BTreeMap<JobId, u32>,
     /// Global MILP solves attempted so far (drives the chaos knob).
     global_solves: u64,
 }
@@ -31,8 +33,8 @@ impl TetriSched {
     pub fn new(config: TetriSchedConfig) -> Self {
         TetriSched {
             config,
-            choice_cache: HashMap::new(),
-            compile_failures: HashMap::new(),
+            choice_cache: BTreeMap::new(),
+            compile_failures: BTreeMap::new(),
             global_solves: 0,
         }
     }
@@ -66,7 +68,9 @@ impl TetriSched {
     }
 
     fn solver_config(&self) -> SolverConfig {
-        SolverConfig::online(self.config.solver_time_limit).with_rel_gap(self.config.solver_gap)
+        SolverConfig::online(self.config.solver_time_limit)
+            .with_rel_gap(self.config.solver_gap)
+            .with_audit(self.config.certify_solves)
     }
 
     /// The configured MILP backend (exact branch-and-bound, or the LP-dive
@@ -291,11 +295,49 @@ impl TetriSched {
         if sol.stats.presolve_certified {
             d.lint_presolve_rejections += 1;
         }
+        // Proof-carrying solve accounting: the backend self-certified its
+        // outcome (primal check + bound-tree audit replay). A failed
+        // certificate means the claimed schedule cannot be trusted, so the
+        // cycle degrades to greedy exactly as on a solver error.
+        d.certificates_verified += sol.stats.certificates_verified;
+        if sol.stats.certificate_failures > 0 {
+            d.certificate_failures += sol.stats.certificate_failures;
+            d.errors.push(CycleError::Certificate {
+                job: None,
+                detail: format!(
+                    "global solve failed {} certificate check(s)",
+                    sol.stats.certificate_failures
+                ),
+            });
+            return false;
+        }
         if !sol.status.has_solution() {
             d.errors.push(CycleError::NoSolution {
                 detail: format!("{:?}", sol.status),
             });
             return false;
+        }
+        // Translation validation (C004): re-evaluate the aggregate STRL
+        // expression under the decoded placement; its valuation must match
+        // the MILP objective the solver just certified.
+        if self.config.certify_solves {
+            let aggregate = StrlExpr::Sum(active.iter().map(|r| r.expr.clone()).collect());
+            match validate_translation(
+                &aggregate,
+                &compiled.granted(&sol),
+                sol.objective,
+                sol.stats.best_bound,
+            ) {
+                Ok(_) => d.certificates_verified += 1,
+                Err(diag) => {
+                    d.certificate_failures += 1;
+                    d.errors.push(CycleError::Certificate {
+                        job: None,
+                        detail: diag.to_string(),
+                    });
+                    return false;
+                }
+            }
         }
 
         // Stale cache entries for batch jobs die; chosen ones re-enter.
@@ -456,11 +498,55 @@ impl TetriSched {
             if sol.stats.presolve_certified {
                 d.lint_presolve_rejections += 1;
             }
+            // A failed self-certificate skips just this job (with a
+            // quarantine strike); the rest of the batch still schedules.
+            d.certificates_verified += sol.stats.certificates_verified;
+            if sol.stats.certificate_failures > 0 {
+                d.certificate_failures += sol.stats.certificate_failures;
+                record_job_failure_in(
+                    &mut self.compile_failures,
+                    &mut self.choice_cache,
+                    self.config.max_compile_failures,
+                    p.spec.id,
+                    CycleError::Certificate {
+                        job: Some(p.spec.id),
+                        detail: format!(
+                            "per-job solve failed {} certificate check(s)",
+                            sol.stats.certificate_failures
+                        ),
+                    },
+                    d,
+                );
+                continue;
+            }
             if !sol.status.has_solution() {
                 d.errors.push(CycleError::NoSolution {
                     detail: format!("{:?}", sol.status),
                 });
                 continue;
+            }
+            if self.config.certify_solves {
+                if let Err(diag) = validate_translation(
+                    &req.expr,
+                    &compiled.granted(&sol),
+                    sol.objective,
+                    sol.stats.best_bound,
+                ) {
+                    d.certificate_failures += 1;
+                    record_job_failure_in(
+                        &mut self.compile_failures,
+                        &mut self.choice_cache,
+                        self.config.max_compile_failures,
+                        p.spec.id,
+                        CycleError::Certificate {
+                            job: Some(p.spec.id),
+                            detail: diag.to_string(),
+                        },
+                        d,
+                    );
+                    continue;
+                }
+                d.certificates_verified += 1;
             }
             self.compile_failures.remove(&p.spec.id);
             let chosen = compiled.chosen(&sol);
@@ -524,7 +610,7 @@ impl TetriSched {
         batch: &[&PendingJob],
         d: &mut CycleDecisions,
     ) {
-        let launched: std::collections::HashSet<JobId> = d.launches.iter().map(|l| l.job).collect();
+        let launched: BTreeSet<JobId> = d.launches.iter().map(|l| l.job).collect();
         let launched_nodes: usize = d.launches.iter().map(|l| l.nodes.len()).sum();
         let mut free_remaining = ctx.ledger.free_nodes().len().saturating_sub(launched_nodes);
 
@@ -675,8 +761,8 @@ impl Scheduler for TetriSched {
 /// share one strike counter: either way the job's expression cannot be
 /// handed to the solver.
 fn record_job_failure_in(
-    compile_failures: &mut HashMap<JobId, u32>,
-    choice_cache: &mut HashMap<JobId, (OptionKey, Time)>,
+    compile_failures: &mut BTreeMap<JobId, u32>,
+    choice_cache: &mut BTreeMap<JobId, (OptionKey, Time)>,
     max_compile_failures: u32,
     job: JobId,
     err: CycleError,
@@ -1187,6 +1273,54 @@ mod tests {
             assert_eq!(report.metrics.accepted_slo_met, 2);
             assert_eq!(report.metrics.be_completed, 1);
         }
+    }
+
+    #[test]
+    fn certify_solves_knob_verifies_every_solve() {
+        // With proof-carrying solves enabled, every MILP outcome across
+        // the run must carry a verified certificate (primal + audit
+        // replay) plus a validated STRL→MILP translation, with zero
+        // failures — and scheduling behaves exactly as with the knob off.
+        let jobs = || {
+            vec![
+                job(0, 0, JobType::Gpu, 2, 30, 2.0, Some(200)),
+                job(1, 0, JobType::Mpi, 3, 30, 2.0, Some(200)),
+                job(2, 0, JobType::Unconstrained, 2, 30, 1.0, None),
+            ]
+        };
+        let heuristic = TetriSchedConfig {
+            solver_heuristic: true,
+            ..TetriSchedConfig::full(16)
+        };
+        for cfg in [
+            TetriSchedConfig::full(16),
+            TetriSchedConfig::no_global(16),
+            heuristic,
+        ] {
+            let certify_cfg = TetriSchedConfig {
+                certify_solves: true,
+                ..cfg
+            };
+            let report = run(Cluster::uniform(4, 4, 1), certify_cfg, jobs());
+            assert!(
+                report.metrics.certificates_verified > 0,
+                "certification must have run"
+            );
+            assert_eq!(report.metrics.certificate_failures, 0);
+            assert_eq!(report.metrics.accepted_slo_met, 2);
+            assert_eq!(report.metrics.be_completed, 1);
+        }
+    }
+
+    #[test]
+    fn certification_off_reports_no_certificates() {
+        let report = run(
+            Cluster::uniform(1, 4, 0),
+            TetriSchedConfig::full(16),
+            vec![job(0, 0, JobType::Unconstrained, 2, 20, 1.0, None)],
+        );
+        assert_eq!(report.metrics.certificates_verified, 0);
+        assert_eq!(report.metrics.certificate_failures, 0);
     }
 
     #[test]

@@ -1,21 +1,23 @@
 //! `srclint`: the workspace invariant linter.
 //!
 //! Walks the workspace's `.rs`/`Cargo.toml` files and enforces the repo
-//! invariants documented in DESIGN.md (codes `L001`–`L003`): simulation
+//! invariants documented in DESIGN.md (codes `L001`–`L004`): simulation
 //! determinism (no stray wall-clock reads), no `unwrap()` in scheduler/
-//! ledger hot paths, and no non-vendored dependencies. Offline and fast;
+//! ledger/simulator hot paths, no non-vendored dependencies, and no
+//! hash-based collections in solver-adjacent crates. Offline and fast;
 //! run it from anywhere inside the workspace:
 //!
 //! ```text
-//! cargo run -p lint --bin srclint [-- --root <dir>] [--json]
+//! cargo run -p lint --bin srclint [-- --root <dir>] [--json] [--deny-warnings]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+//! Exit codes: `0` clean, `1` Error-severity findings (or any finding
+//! under `--deny-warnings`), `2` usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lint::{lint_workspace, render_json, render_pretty};
+use lint::{lint_workspace, render_json, render_pretty, Severity};
 
 /// Ascends from `start` to the directory whose `Cargo.toml` declares
 /// `[workspace]`.
@@ -37,6 +39,7 @@ fn find_workspace_root(start: PathBuf) -> Option<PathBuf> {
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
+    let mut deny_warnings = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -48,8 +51,9 @@ fn main() -> ExitCode {
                 }
             },
             "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
             "--help" | "-h" => {
-                eprintln!("usage: srclint [--root <dir>] [--json]");
+                eprintln!("usage: srclint [--root <dir>] [--json] [--deny-warnings]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -102,9 +106,14 @@ fn main() -> ExitCode {
         print!("{}", render_pretty(&report.diagnostics));
     }
 
-    if report.diagnostics.is_empty() {
-        ExitCode::SUCCESS
+    let min_fatal = if deny_warnings {
+        Severity::Warning
     } else {
+        Severity::Error
+    };
+    if report.diagnostics.iter().any(|d| d.severity >= min_fatal) {
         ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -11,16 +11,23 @@
 //! 2. **Source analysis** — [`lint_workspace`] (and the `srclint` binary)
 //!    walks the workspace's `.rs`/`Cargo.toml` files enforcing repo
 //!    invariants: no wall-clock reads outside an allowlist (codes `L001`),
-//!    no `unwrap()` in scheduler/ledger hot paths (`L002`), and no
-//!    non-vendored external dependency in any manifest (`L003`).
+//!    no `unwrap()` in scheduler/ledger/simulator hot paths (`L002`), no
+//!    non-vendored external dependency in any manifest (`L003`), and no
+//!    hash-based collections in solver-adjacent crates (`L004`).
+//!
+//! A third engine, [`certify`], verifies proof-carrying solver outcomes
+//! (codes `C001`–`C003`, re-exported from `tetrisched_milp::certify`) and
+//! validates the STRL→MILP translation end-to-end (`C004`).
 //!
 //! Findings render as pretty text ([`render_pretty`]) or JSON
 //! ([`render_json`]). The full diagnostic-code table lives in DESIGN.md.
 
+pub mod certify;
 pub mod render;
 pub mod src_lint;
 pub mod strl_lint;
 
+pub use certify::{certify_solution, check_solution, validate_translation, CertifyReport};
 pub use render::{render_json, render_pretty};
 pub use src_lint::{lint_workspace, SrcLintReport};
 pub use strl_lint::{lint_expr, StrlLintContext};

@@ -1,4 +1,4 @@
-//! Workspace invariant linting over source files (codes `L001`–`L003`).
+//! Workspace invariant linting over source files (codes `L001`–`L004`).
 //!
 //! The simulator's reproducibility and the offline build both rest on
 //! conventions that rustc cannot enforce. This pass walks the workspace's
@@ -7,12 +7,18 @@
 //! - `L001` — no wall-clock reads (`Instant::now` / `SystemTime`) outside
 //!   an explicit allowlist. Simulated time must come from the engine;
 //!   wall-clock is only legitimate for solver budgets and report timing.
-//! - `L002` — no `unwrap()` in scheduler/ledger hot paths (the `cluster`,
-//!   `core`, and `milp` crates' non-test code). Invariants are spelled out
-//!   with `expect()` or propagated as `Result`s.
+//! - `L002` — no `unwrap()` in scheduler/ledger/simulator hot paths (the
+//!   `cluster`, `core`, `milp`, and `sim` crates' non-test code).
+//!   Invariants are spelled out with `expect()` or propagated as
+//!   `Result`s.
 //! - `L003` — no non-vendored dependency in any `Cargo.toml`: every entry
 //!   must be a `path` dependency or inherit one via `workspace = true`
 //!   (the build environment cannot reach crates.io).
+//! - `L004` — no hash-based collections (`HashMap`/`HashSet`) in
+//!   solver-adjacent crates (`milp`, `core`, `cluster`): iteration order
+//!   feeds variable/constraint order and thus solver pivoting, so any
+//!   hash-seed dependence would break run-to-run reproducibility and the
+//!   certificate audit replay. Use `BTreeMap`/`BTreeSet`.
 //!
 //! Test modules (`#[cfg(test)]` and beyond), `tests/`/`benches/` trees, and
 //! comment lines are exempt from the `.rs` rules. The scan is line-based
@@ -29,6 +35,7 @@ use tetrisched_milp::lint::{Diagnostic, Severity};
 const WALL_CLOCK_PATTERNS: [&str; 2] = [concat!("Instant", "::now"), concat!("System", "Time")];
 const UNWRAP_PATTERN: &str = concat!(".unwrap", "()");
 const CFG_TEST_PATTERN: &str = concat!("#[cfg", "(test)]");
+const HASH_COLLECTION_PATTERNS: [&str; 2] = [concat!("Hash", "Map"), concat!("Hash", "Set")];
 
 /// Files (workspace-relative, `/`-separated) allowed to read the wall
 /// clock: solver time budgets, engine cycle-latency metrics, and report
@@ -43,16 +50,32 @@ const WALL_CLOCK_ALLOWLIST: [&str; 6] = [
 ];
 
 /// Crate subtrees whose non-test code must not call `unwrap()`.
-const NO_UNWRAP_PREFIXES: [&str; 3] = [
+const NO_UNWRAP_PREFIXES: [&str; 4] = [
     "crates/cluster/src/",
     "crates/core/src/",
     "crates/milp/src/",
+    "crates/sim/src/",
 ];
 
 /// Files allowed to keep `unwrap()` in hot paths. Kept honest and empty
 /// after the PR-3 burn-down; add entries only with a comment explaining
 /// the invariant.
 const UNWRAP_ALLOWLIST: [&str; 0] = [];
+
+/// Crate subtrees whose non-test code must not use hash-based collections:
+/// everything whose iteration order can reach MILP variable/constraint
+/// order or the solve audit.
+const NO_HASH_COLLECTION_PREFIXES: [&str; 3] = [
+    "crates/cluster/src/",
+    "crates/core/src/",
+    "crates/milp/src/",
+];
+
+/// Files allowed to keep hash collections in solver-adjacent crates. Kept
+/// honest and empty after the PR-4 burn-down; add entries only with a
+/// comment explaining why iteration order provably cannot leak into model
+/// construction or certification.
+const HASH_COLLECTION_ALLOWLIST: [&str; 0] = [];
 
 /// Result of a workspace scan.
 #[derive(Debug, Default)]
@@ -112,6 +135,10 @@ fn lint_rust_file(rel: &str, path: &Path, report: &mut SrcLintReport) -> io::Res
     let wall_clock_allowed = WALL_CLOCK_ALLOWLIST.contains(&rel);
     let unwrap_checked =
         NO_UNWRAP_PREFIXES.iter().any(|p| rel.starts_with(p)) && !UNWRAP_ALLOWLIST.contains(&rel);
+    let hash_checked = NO_HASH_COLLECTION_PREFIXES
+        .iter()
+        .any(|p| rel.starts_with(p))
+        && !HASH_COLLECTION_ALLOWLIST.contains(&rel);
     for (i, line) in text.lines().enumerate() {
         // Everything from the first test-module marker on is test code.
         if line.contains(CFG_TEST_PATTERN) {
@@ -145,6 +172,23 @@ fn lint_rust_file(rel: &str, path: &Path, report: &mut SrcLintReport) -> io::Res
                  invariant message or propagate a `Result`",
                 format!("{rel}:{lineno}"),
             ));
+        }
+        if hash_checked {
+            for pat in HASH_COLLECTION_PATTERNS {
+                if trimmed.contains(pat) {
+                    report.diagnostics.push(Diagnostic::new(
+                        "L004",
+                        Severity::Error,
+                        format!(
+                            "hash-based collection (`{pat}`) in a solver-adjacent crate: \
+                             iteration order must be deterministic for reproducible \
+                             models and audit replay; use `BTree{}`",
+                            &pat[4..]
+                        ),
+                        format!("{rel}:{lineno}"),
+                    ));
+                }
+            }
         }
     }
     Ok(())

@@ -1,17 +1,21 @@
 //! Golden tests: one minimal offending artifact per diagnostic code.
 //!
-//! Every code the two analysis engines can emit (`S001`–`S009` for STRL,
-//! `M001`–`M007` for MILP, `L001`–`L003` for source invariants) is pinned
-//! here with the smallest input that triggers it, so a behavior change in
-//! any pass shows up as a golden diff. Error-severity MILP findings must
+//! Every code the analysis engines can emit (`S001`–`S009` for STRL,
+//! `M001`–`M007` for MILP, `L001`–`L004` for source invariants,
+//! `C001`–`C004` for solve certification) is pinned here with the
+//! smallest input that triggers it, so a behavior change in any pass
+//! shows up as a golden diff. Error-severity MILP findings must
 //! additionally carry a certificate that re-verifies against the model.
 
 use std::fs;
 use std::path::PathBuf;
 
-use lint::{has_errors, lint_expr, lint_model, lint_workspace, Severity, StrlLintContext};
+use lint::{
+    certify_solution, has_errors, lint_expr, lint_model, lint_workspace, validate_translation,
+    Severity, StrlLintContext,
+};
 use tetrisched_cluster::{NodeId, NodeSet};
-use tetrisched_milp::{Model, Sense, VarKind};
+use tetrisched_milp::{Model, Sense, Solution, SolveStatus, SolverConfig, VarKind};
 use tetrisched_strl::StrlExpr;
 
 fn set(ids: &[u32]) -> NodeSet {
@@ -210,7 +214,76 @@ fn m007_propagation_refuted_row_certificate_verifies() {
     assert!(cert.verify(&m).is_ok(), "{:?}", cert.verify(&m));
 }
 
-// ---- Source invariants (L001–L003) ------------------------------------
+// ---- Certification codes (C001–C004) ----------------------------------
+
+/// A tiny knapsack whose audited solve yields a full certificate.
+fn certified_solve() -> (Model, Solution) {
+    let mut m = Model::maximize();
+    let x = m.add_binary("x", 3.0);
+    let y = m.add_binary("y", 2.0);
+    m.add_constraint("cap", [(x, 2.0), (y, 1.0)], Sense::Le, 2.0);
+    let sol = m
+        .solve(&SolverConfig::exact().with_audit(true))
+        .expect("bounded binary model must solve");
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    (m, sol)
+}
+
+#[test]
+fn c001_corrupted_primal_is_error() {
+    let (m, mut sol) = certified_solve();
+    sol.values[0] += 1.0; // Push the binary out of its domain.
+    let diags = certify_solution(&m, &sol).diagnostics;
+    let d = diags.iter().find(|d| d.code == "C001").expect("C001");
+    assert_eq!(d.severity, Severity::Error);
+}
+
+#[test]
+fn c002_tampered_dual_certificate_is_error() {
+    let (m, mut sol) = certified_solve();
+    let audit = sol.audit.as_deref_mut().expect("audit attached");
+    let mut tampered = false;
+    for n in &mut audit.nodes {
+        if let Some(lp) = &mut n.lp {
+            lp.objective += 5.0;
+            tampered = true;
+        }
+    }
+    assert!(tampered, "expected an LP-certified node");
+    let diags = certify_solution(&m, &sol).diagnostics;
+    let d = diags.iter().find(|d| d.code == "C002").expect("C002");
+    assert_eq!(d.severity, Severity::Error);
+}
+
+#[test]
+fn c003_unsupported_infeasibility_claim_is_error() {
+    use lint::certify::{IncumbentSource, SolveAudit, SolveProof};
+    let (m, _) = certified_solve();
+    let mut sol = Solution::empty(SolveStatus::Infeasible);
+    sol.audit = Some(Box::new(SolveAudit {
+        solved_model: m.clone(),
+        rel_gap: 0.0,
+        limit_hit: false,
+        nodes: Vec::new(),
+        incumbent_source: IncumbentSource::None,
+        proof: SolveProof::PresolveInfeasible { certificate: None },
+    }));
+    let diags = certify_solution(&m, &sol).diagnostics;
+    let d = diags.iter().find(|d| d.code == "C003").expect("C003");
+    assert_eq!(d.severity, Severity::Error);
+}
+
+#[test]
+fn c004_translation_mismatch_is_error() {
+    // One leaf worth 1.0, zero nodes granted, but a claimed objective of
+    // 1.0: value out of thin air.
+    let e = StrlExpr::nck(set(&[0, 1]), 1, 10, 5, 1.0);
+    let d = validate_translation(&e, &[0], 1.0, 1.0).expect_err("must reject");
+    assert_eq!(d.code, "C004");
+    assert_eq!(d.severity, Severity::Error);
+}
+
+// ---- Source invariants (L001–L004) ------------------------------------
 
 /// Builds a throwaway mini-workspace seeded with one violation per source
 /// rule, runs the workspace linter over it, and returns the findings.
@@ -234,6 +307,15 @@ fn seeded_workspace_codes() -> Vec<String> {
         "crates/cluster/src/alloc2.rs",
         "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n",
     );
+    // The L002 rule extends to the simulator's hot paths.
+    write(
+        "crates/sim/src/engine3.rs",
+        "pub fn g(v: Option<u32>) -> u32 { v.unwrap() }\n",
+    );
+    write(
+        "crates/milp/src/hashy.rs",
+        "use std::collections::HashMap;\npub fn h() -> HashMap<u32, u32> { HashMap::new() }\n",
+    );
     let report = lint_workspace(&root).expect("scan");
     let _ = fs::remove_dir_all(&root);
     report
@@ -244,11 +326,20 @@ fn seeded_workspace_codes() -> Vec<String> {
 }
 
 #[test]
-fn l001_l002_l003_fire_on_seeded_violations() {
+fn l001_through_l004_fire_on_seeded_violations() {
     let codes = seeded_workspace_codes();
     assert!(codes.contains(&"L001".to_string()), "{codes:?}");
-    assert!(codes.contains(&"L002".to_string()), "{codes:?}");
     assert!(codes.contains(&"L003".to_string()), "{codes:?}");
+    // L002 fires in both the ledger and (since PR 4) simulator subtrees.
+    assert_eq!(
+        codes.iter().filter(|c| *c == "L002").count(),
+        2,
+        "{codes:?}"
+    );
+    // L004 fires once per hash-collection mention (the `use` and the two
+    // in the signature/body count as three lines here — assert presence,
+    // not count, to stay robust to line merging).
+    assert!(codes.contains(&"L004".to_string()), "{codes:?}");
 }
 
 #[test]

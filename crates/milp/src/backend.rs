@@ -9,6 +9,10 @@
 //! dive — trading bounded optimality loss for near-constant solve time.
 
 use crate::branch_bound::BranchBound;
+use crate::certify::{
+    mint_infeasibility_proof, AuditNode, IncumbentSource, LpCertificate, NodeStatus, SolveAudit,
+    SolveProof,
+};
 use crate::config::SolverConfig;
 use crate::error::Result;
 use crate::heuristics;
@@ -66,8 +70,26 @@ impl HeuristicBackend {
     }
 }
 
-impl MilpBackend for HeuristicBackend {
-    fn solve(&self, model: &Model, warm: Option<&[f64]>) -> Result<Solution> {
+impl HeuristicBackend {
+    /// Assembles a heuristic-path audit over the unreduced model.
+    fn audit(
+        &self,
+        model: &Model,
+        nodes: Vec<AuditNode>,
+        incumbent_source: IncumbentSource,
+        proof: SolveProof,
+    ) -> Box<SolveAudit> {
+        Box::new(SolveAudit {
+            solved_model: model.clone(),
+            rel_gap: self.config.rel_gap,
+            limit_hit: false,
+            nodes,
+            incumbent_source,
+            proof,
+        })
+    }
+
+    fn solve_inner(&self, model: &Model, warm: Option<&[f64]>) -> Result<Solution> {
         model.validate()?;
         // Same certificate cross-check as the exact path (debug builds only).
         crate::lint::debug_precheck(model);
@@ -77,6 +99,7 @@ impl MilpBackend for HeuristicBackend {
 
         // Warm-start incumbent, as in the exact path.
         let mut incumbent: Option<(f64, Vec<f64>)> = None;
+        let mut inc_source = IncumbentSource::None;
         if let Some(w) = warm {
             if w.len() == model.num_vars() {
                 let mut snapped = w.to_vec();
@@ -88,6 +111,7 @@ impl MilpBackend for HeuristicBackend {
                 if model.is_feasible(&snapped, 1e-6) {
                     incumbent = Some((model.objective_value(&snapped), snapped));
                     stats.warm_start_used = true;
+                    inc_source = IncumbentSource::WarmStart;
                 }
             }
         }
@@ -96,24 +120,50 @@ impl MilpBackend for HeuristicBackend {
         let ub: Vec<f64> = model.vars().iter().map(|v| v.ub).collect();
         stats.lp_solves += 1;
         let root = simplex.solve_with_bounds(model, &lb, &ub)?;
-        let (root_obj, root_values) = match root {
-            LpOutcome::Optimal { objective, values } => (objective, values),
-            LpOutcome::Infeasible => {
+        let (root_obj, root_values, root_duals) = match root {
+            LpOutcome::Optimal {
+                objective,
+                values,
+                duals,
+            } => (objective, values, duals),
+            LpOutcome::Infeasible { farkas } => {
                 stats.wall_secs = start.elapsed().as_secs_f64();
+                let audit = self.config.audit.then(|| {
+                    let proof = mint_infeasibility_proof(model, &lb, &ub, farkas);
+                    self.audit(
+                        model,
+                        Vec::new(),
+                        IncumbentSource::None,
+                        SolveProof::RootInfeasible { proof },
+                    )
+                });
                 return Ok(Solution {
                     status: SolveStatus::Infeasible,
                     objective: f64::NEG_INFINITY,
                     values: Vec::new(),
                     stats,
+                    audit,
                 });
             }
-            LpOutcome::Unbounded => {
+            LpOutcome::Unbounded { ray } => {
                 stats.wall_secs = start.elapsed().as_secs_f64();
+                let audit = self.config.audit.then(|| {
+                    self.audit(
+                        model,
+                        Vec::new(),
+                        IncumbentSource::None,
+                        SolveProof::UnboundedRay {
+                            patches: Vec::new(),
+                            ray,
+                        },
+                    )
+                });
                 return Ok(Solution {
                     status: SolveStatus::Unbounded,
                     objective: f64::INFINITY,
                     values: Vec::new(),
                     stats,
+                    audit,
                 });
             }
         };
@@ -130,28 +180,65 @@ impl MilpBackend for HeuristicBackend {
         ) {
             if incumbent.as_ref().map(|(o, _)| obj > *o).unwrap_or(true) {
                 incumbent = Some((obj, values));
+                inc_source = IncumbentSource::Dive;
             }
         }
 
         stats.wall_secs = start.elapsed().as_secs_f64();
+        let audit = |source: IncumbentSource| {
+            self.config.audit.then(|| {
+                let root_node = AuditNode {
+                    parent: None,
+                    patches: Vec::new(),
+                    bound: stats.best_bound,
+                    status: NodeStatus::Open,
+                    lp: Some(LpCertificate {
+                        objective: stats.best_bound,
+                        duals: root_duals.clone(),
+                    }),
+                };
+                self.audit(model, vec![root_node], source, SolveProof::HeuristicBound)
+            })
+        };
         match incumbent {
             Some((obj, values)) => {
                 stats.final_gap = ((stats.best_bound - obj) / obj.abs().max(1.0)).max(0.0);
+                let audit = audit(inc_source);
                 Ok(Solution {
                     // Never proven optimal: always reported as feasible.
                     status: SolveStatus::Feasible,
                     objective: obj,
                     values,
                     stats,
+                    audit,
                 })
             }
-            None => Ok(Solution {
-                status: SolveStatus::NoSolutionFound,
-                objective: f64::NEG_INFINITY,
-                values: Vec::new(),
-                stats,
-            }),
+            None => {
+                let audit = audit(IncumbentSource::None);
+                Ok(Solution {
+                    status: SolveStatus::NoSolutionFound,
+                    objective: f64::NEG_INFINITY,
+                    values: Vec::new(),
+                    stats,
+                    audit,
+                })
+            }
         }
+    }
+}
+
+impl MilpBackend for HeuristicBackend {
+    fn solve(&self, model: &Model, warm: Option<&[f64]>) -> Result<Solution> {
+        let mut sol = self.solve_inner(model, warm)?;
+        // Debug builds re-verify the returned assignment; compiled out in
+        // release builds.
+        crate::certify::debug_postcheck(model, &sol);
+        if self.config.audit {
+            let report = crate::certify::certify_solution(model, &sol);
+            sol.stats.certificates_verified = report.verified;
+            sol.stats.certificate_failures = report.diagnostics.len();
+        }
+        Ok(sol)
     }
 
     fn name(&self) -> &'static str {

@@ -11,6 +11,10 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
+use crate::certify::{
+    mint_infeasibility_proof, AuditNode, IncumbentSource, LpCertificate, NodeStatus, SolveAudit,
+    SolveProof,
+};
 use crate::config::SolverConfig;
 use crate::error::{MilpError, Result};
 use crate::heuristics::dive;
@@ -28,6 +32,29 @@ struct Node {
     /// Tie-break sequence number (later nodes explored first on ties, which
     /// approximates depth-first descent among equals).
     seq: u64,
+    /// Index of this node's entry in the audit log (meaningful only when
+    /// [`SolverConfig::audit`] is set).
+    aid: usize,
+}
+
+/// Assembles the audit attached to a finished solve, draining the recorded
+/// node log.
+fn make_audit(
+    model: &Model,
+    cfg: &SolverConfig,
+    limit_hit: bool,
+    nodes: &mut Vec<AuditNode>,
+    incumbent_source: IncumbentSource,
+    proof: SolveProof,
+) -> Box<SolveAudit> {
+    Box::new(SolveAudit {
+        solved_model: model.clone(),
+        rel_gap: cfg.rel_gap,
+        limit_hit,
+        nodes: std::mem::take(nodes),
+        incumbent_source,
+        proof,
+    })
 }
 
 impl PartialEq for Node {
@@ -67,13 +94,32 @@ impl BranchBound {
     /// The warm start is validated against the model (integer variables are
     /// snapped to the nearest integer first); an infeasible warm start is
     /// silently ignored, matching MILP-solver convention.
+    ///
+    /// With [`SolverConfig::audit`] set, the returned solution carries a
+    /// [`SolveAudit`] that [`crate::certify::certify_solution`] can replay,
+    /// and `stats.certificates_verified` / `stats.certificate_failures`
+    /// report the result of the solver's own replay.
     pub fn solve(&self, model: &Model, warm: Option<&[f64]>) -> Result<Solution> {
+        let mut sol = self.solve_inner(model, warm)?;
+        // Debug builds re-verify the returned assignment against the
+        // original model; compiled out in release builds.
+        crate::certify::debug_postcheck(model, &sol);
+        if self.config.audit {
+            let report = crate::certify::certify_solution(model, &sol);
+            sol.stats.certificates_verified = report.verified;
+            sol.stats.certificate_failures = report.diagnostics.len();
+        }
+        Ok(sol)
+    }
+
+    fn solve_inner(&self, model: &Model, warm: Option<&[f64]>) -> Result<Solution> {
         model.validate()?;
         // Debug builds cross-check every lint infeasibility certificate
         // against the model; compiled out in release builds.
         crate::lint::debug_precheck(model);
         let start = Instant::now();
         let cfg = &self.config;
+        let auditing = cfg.audit;
         let simplex = Simplex::new(cfg.max_lp_iterations);
         let n = model.num_vars();
         let mut stats = SolverStats::default();
@@ -81,17 +127,29 @@ impl BranchBound {
         // Presolve keeps variable indexing intact, so its reductions are
         // transparent to the caller; implied-bound tightening preserves the
         // feasible set, so warm starts stay valid too.
+        let original = model;
         let presolved;
         let model: &Model = if cfg.enable_presolve {
             match crate::presolve::presolve(model, 2) {
                 crate::presolve::PresolveOutcome::Infeasible { certificate } => {
                     stats.presolve_certified = certificate.is_some();
                     stats.wall_secs = start.elapsed().as_secs_f64();
+                    let audit = auditing.then(|| {
+                        Box::new(SolveAudit {
+                            solved_model: original.clone(),
+                            rel_gap: cfg.rel_gap,
+                            limit_hit: false,
+                            nodes: Vec::new(),
+                            incumbent_source: IncumbentSource::None,
+                            proof: SolveProof::PresolveInfeasible { certificate },
+                        })
+                    });
                     return Ok(Solution {
                         status: SolveStatus::Infeasible,
                         objective: f64::NEG_INFINITY,
                         values: Vec::new(),
                         stats,
+                        audit,
                     });
                 }
                 crate::presolve::PresolveOutcome::Reduced { model: m, .. } => {
@@ -120,6 +178,11 @@ impl BranchBound {
             base_ub[j] = hi;
         }
 
+        // Audit node log and incumbent provenance (recorded only when
+        // auditing).
+        let mut audit_nodes: Vec<AuditNode> = Vec::new();
+        let mut inc_source = IncumbentSource::None;
+
         // Incumbent from the warm start, if it checks out.
         let mut incumbent: Option<(f64, Vec<f64>)> = None;
         if let Some(w) = warm {
@@ -139,6 +202,7 @@ impl BranchBound {
                 let obj = model.objective_value(&snapped);
                 incumbent = Some((obj, snapped));
                 stats.warm_start_used = true;
+                inc_source = IncumbentSource::WarmStart;
             }
         }
 
@@ -146,25 +210,53 @@ impl BranchBound {
         stats.lp_solves += 1;
         let root = simplex.solve_with_bounds(model, &base_lb, &base_ub)?;
         let (root_obj, root_values) = match root {
-            LpOutcome::Optimal { objective, values } => (objective, values),
-            LpOutcome::Infeasible => {
+            LpOutcome::Optimal {
+                objective, values, ..
+            } => (objective, values),
+            LpOutcome::Infeasible { farkas } => {
                 // A feasible warm start contradicting an infeasible
                 // relaxation cannot happen; report infeasible.
                 stats.wall_secs = start.elapsed().as_secs_f64();
+                let audit = auditing.then(|| {
+                    let proof = mint_infeasibility_proof(model, &base_lb, &base_ub, farkas);
+                    make_audit(
+                        model,
+                        cfg,
+                        false,
+                        &mut audit_nodes,
+                        IncumbentSource::None,
+                        SolveProof::RootInfeasible { proof },
+                    )
+                });
                 return Ok(Solution {
                     status: SolveStatus::Infeasible,
                     objective: f64::NEG_INFINITY,
                     values: Vec::new(),
                     stats,
+                    audit,
                 });
             }
-            LpOutcome::Unbounded => {
+            LpOutcome::Unbounded { ray } => {
                 stats.wall_secs = start.elapsed().as_secs_f64();
+                let audit = auditing.then(|| {
+                    make_audit(
+                        model,
+                        cfg,
+                        false,
+                        &mut audit_nodes,
+                        IncumbentSource::None,
+                        SolveProof::UnboundedRay {
+                            patches: Vec::new(),
+                            ray,
+                        },
+                    )
+                });
                 return Ok(Solution {
                     status: SolveStatus::Unbounded,
                     objective: f64::INFINITY,
                     values: Vec::new(),
                     stats,
+                    audit,
                 });
             }
         };
@@ -184,16 +276,27 @@ impl BranchBound {
             ) {
                 if incumbent.as_ref().map(|(o, _)| obj > *o).unwrap_or(true) {
                     incumbent = Some((obj, values));
+                    inc_source = IncumbentSource::Dive;
                 }
             }
         }
 
         let mut heap: BinaryHeap<Node> = BinaryHeap::new();
         let mut seq = 0u64;
+        if auditing {
+            audit_nodes.push(AuditNode {
+                parent: None,
+                patches: Vec::new(),
+                bound: root_obj,
+                status: NodeStatus::Open,
+                lp: None,
+            });
+        }
         heap.push(Node {
             bound: root_obj,
             patches: Vec::new(),
             seq,
+            aid: 0,
         });
 
         let mut limit_hit = false;
@@ -208,13 +311,28 @@ impl BranchBound {
                 let gap = (node.bound - inc_obj) / inc_obj.abs().max(1.0);
                 if gap <= cfg.rel_gap {
                     stats.final_gap = gap.max(0.0);
+                    // The incumbent is itself a valid primal bound, so the
+                    // proven bound never sits below it (the frontier can
+                    // fall under the incumbent when the gap is negative).
+                    stats.best_bound = stats.best_bound.max(*inc_obj);
                     stats.wall_secs = start.elapsed().as_secs_f64();
                     let (obj, values) = incumbent.expect("gap termination requires an incumbent");
+                    let audit = auditing.then(|| {
+                        make_audit(
+                            model,
+                            cfg,
+                            false,
+                            &mut audit_nodes,
+                            inc_source,
+                            SolveProof::Tree,
+                        )
+                    });
                     return Ok(Solution {
                         status: SolveStatus::Optimal,
                         objective: obj,
                         values,
                         stats,
+                        audit,
                     });
                 }
             }
@@ -235,17 +353,48 @@ impl BranchBound {
             stats.lp_solves += 1;
             let out = simplex.solve_with_bounds(model, &lb_buf, &ub_buf)?;
             let (obj, values) = match out {
-                LpOutcome::Optimal { objective, values } => {
-                    (objective + model.objective_offset, values)
+                LpOutcome::Optimal {
+                    objective,
+                    values,
+                    duals,
+                } => {
+                    let obj = objective + model.objective_offset;
+                    if auditing {
+                        audit_nodes[node.aid].lp = Some(LpCertificate {
+                            objective: obj,
+                            duals,
+                        });
+                    }
+                    (obj, values)
                 }
-                LpOutcome::Infeasible => continue,
-                LpOutcome::Unbounded => {
+                LpOutcome::Infeasible { farkas } => {
+                    if auditing {
+                        let proof = mint_infeasibility_proof(model, &lb_buf, &ub_buf, farkas);
+                        audit_nodes[node.aid].status = NodeStatus::PrunedInfeasible { proof };
+                    }
+                    continue;
+                }
+                LpOutcome::Unbounded { ray } => {
                     stats.wall_secs = start.elapsed().as_secs_f64();
+                    let audit = auditing.then(|| {
+                        make_audit(
+                            model,
+                            cfg,
+                            false,
+                            &mut audit_nodes,
+                            IncumbentSource::None,
+                            SolveProof::UnboundedRay {
+                                patches: node.patches.clone(),
+                                ray,
+                            },
+                        )
+                    });
                     return Ok(Solution {
                         status: SolveStatus::Unbounded,
                         objective: f64::INFINITY,
                         values: Vec::new(),
                         stats,
+                        audit,
                     });
                 }
             };
@@ -255,6 +404,11 @@ impl BranchBound {
             // exploring).
             if let Some((inc_obj, _)) = &incumbent {
                 if obj <= inc_obj + cfg.rel_gap * inc_obj.abs().max(1.0) {
+                    if auditing {
+                        audit_nodes[node.aid].status = NodeStatus::PrunedByBound {
+                            incumbent: *inc_obj,
+                        };
+                    }
                     continue;
                 }
             }
@@ -269,29 +423,63 @@ impl BranchBound {
                         }
                     }
                     let obj = model.objective_value(&snapped);
+                    if auditing {
+                        audit_nodes[node.aid].status =
+                            NodeStatus::IntegerFeasible { objective: obj };
+                    }
                     if incumbent.as_ref().map(|(o, _)| obj > *o).unwrap_or(true) {
                         incumbent = Some((obj, snapped));
+                        inc_source = IncumbentSource::Node(node.aid);
                     }
                 }
                 Some((j, x)) => {
                     let floor = x.floor();
+                    if auditing {
+                        audit_nodes[node.aid].status = NodeStatus::Branched { var: j, floor };
+                    }
                     // Down child: x_j <= floor.
                     let mut down = node.patches.clone();
                     down.push((j, lb_buf[j], floor.min(ub_buf[j])));
                     seq += 1;
+                    let down_aid = if auditing {
+                        audit_nodes.push(AuditNode {
+                            parent: Some(node.aid),
+                            patches: down.clone(),
+                            bound: obj,
+                            status: NodeStatus::Open,
+                            lp: None,
+                        });
+                        audit_nodes.len() - 1
+                    } else {
+                        0
+                    };
                     heap.push(Node {
                         bound: obj,
                         patches: down,
                         seq,
+                        aid: down_aid,
                     });
                     // Up child: x_j >= floor + 1.
                     let mut up = node.patches;
                     up.push((j, (floor + 1.0).max(lb_buf[j]), ub_buf[j]));
                     seq += 1;
+                    let up_aid = if auditing {
+                        audit_nodes.push(AuditNode {
+                            parent: Some(node.aid),
+                            patches: up.clone(),
+                            bound: obj,
+                            status: NodeStatus::Open,
+                            lp: None,
+                        });
+                        audit_nodes.len() - 1
+                    } else {
+                        0
+                    };
                     heap.push(Node {
                         bound: obj,
                         patches: up,
                         seq,
+                        aid: up_aid,
                     });
                 }
             }
@@ -313,11 +501,22 @@ impl BranchBound {
                 } else {
                     SolveStatus::Optimal
                 };
+                let audit = auditing.then(|| {
+                    make_audit(
+                        model,
+                        cfg,
+                        limit_hit,
+                        &mut audit_nodes,
+                        inc_source,
+                        SolveProof::Tree,
+                    )
+                });
                 Ok(Solution {
                     status,
                     objective: obj,
                     values,
                     stats,
+                    audit,
                 })
             }
             None => {
@@ -326,11 +525,22 @@ impl BranchBound {
                 } else {
                     SolveStatus::Infeasible
                 };
+                let audit = auditing.then(|| {
+                    make_audit(
+                        model,
+                        cfg,
+                        limit_hit,
+                        &mut audit_nodes,
+                        IncumbentSource::None,
+                        SolveProof::Tree,
+                    )
+                });
                 Ok(Solution {
                     status,
                     objective: f64::NEG_INFINITY,
                     values: Vec::new(),
                     stats,
+                    audit,
                 })
             }
         }

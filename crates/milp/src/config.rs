@@ -26,6 +26,10 @@ pub struct SolverConfig {
     pub dive_depth: usize,
     /// Whether to run presolve reductions before branch-and-bound.
     pub enable_presolve: bool,
+    /// Whether to record a proof-carrying [`crate::certify::SolveAudit`]
+    /// on the returned solution and self-certify it (filling
+    /// `stats.certificates_verified` / `stats.certificate_failures`).
+    pub audit: bool,
 }
 
 impl Default for SolverConfig {
@@ -39,6 +43,7 @@ impl Default for SolverConfig {
             enable_diving: true,
             dive_depth: 256,
             enable_presolve: true,
+            audit: false,
         }
     }
 }
@@ -74,6 +79,12 @@ impl SolverConfig {
     /// Builder-style setter for the node limit.
     pub fn with_node_limit(mut self, limit: usize) -> Self {
         self.node_limit = limit;
+        self
+    }
+
+    /// Builder-style setter for proof-carrying solve audits.
+    pub fn with_audit(mut self, audit: bool) -> Self {
+        self.audit = audit;
         self
     }
 }

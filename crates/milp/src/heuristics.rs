@@ -50,8 +50,8 @@ pub(crate) fn dive(
                 stats.lp_solves += 1;
                 match simplex.solve_with_bounds(model, &lb, &ub).ok()? {
                     LpOutcome::Optimal { values: v, .. } => values = v,
-                    LpOutcome::Unbounded => return None,
-                    LpOutcome::Infeasible => {
+                    LpOutcome::Unbounded { .. } => return None,
+                    LpOutcome::Infeasible { .. } => {
                         // Flip to the other side of the fractional value.
                         let other = if rounded > x { x.floor() } else { x.ceil() };
                         let other = other.clamp(saved_lb, saved_ub);

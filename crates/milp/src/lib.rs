@@ -38,6 +38,7 @@
 
 pub mod backend;
 pub mod branch_bound;
+pub mod certify;
 pub mod config;
 pub mod error;
 pub mod heuristics;
@@ -49,6 +50,10 @@ pub mod status;
 
 pub use backend::{ExactBackend, HeuristicBackend, MilpBackend};
 pub use branch_bound::BranchBound;
+pub use certify::{
+    certify_solution, check_solution, dual_bound, verify_farkas, verify_ray, CertifyReport,
+    IncumbentSource, SolveAudit, SolveProof,
+};
 pub use config::SolverConfig;
 pub use error::{MilpError, Result};
 pub use lint::{

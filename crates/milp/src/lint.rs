@@ -19,7 +19,7 @@
 //! The shared [`Diagnostic`] type is re-exported by the workspace `lint`
 //! crate, which adds the STRL-expression and source-tree analyses on top.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::model::{Model, Sense, VarId, VarKind};
@@ -514,7 +514,7 @@ pub fn lint_model(model: &Model) -> Vec<Diagnostic> {
     }
 
     // M002 vacuous rows / M003 duplicate rows share the compacted terms.
-    let mut seen: HashMap<(Vec<(usize, u64)>, u8), usize> = HashMap::new();
+    let mut seen: BTreeMap<(Vec<(usize, u64)>, u8), usize> = BTreeMap::new();
     for (i, c) in model.constraints().iter().enumerate() {
         let terms = crate::model::LinExpr {
             terms: c.terms.clone(),

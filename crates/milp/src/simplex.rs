@@ -28,6 +28,10 @@ const STALL_LIMIT: usize = 256;
 const REFRESH_PERIOD: usize = 128;
 
 /// Result of an LP solve.
+///
+/// Every variant carries the raw material for an independently checkable
+/// certificate (see [`crate::certify`]): row duals at an optimum, a Farkas
+/// dual candidate for infeasibility, and an improving ray for unboundedness.
 #[derive(Debug, Clone)]
 pub enum LpOutcome {
     /// An optimal basic solution was found.
@@ -36,11 +40,26 @@ pub enum LpOutcome {
         objective: f64,
         /// Values of the *structural* variables, in model column order.
         values: Vec<f64>,
+        /// Row dual values (simplex multipliers) at the optimum, one per
+        /// constraint. Together with the reduced costs they derive, these
+        /// certify the objective value via LP duality.
+        duals: Vec<f64>,
     },
     /// No assignment satisfies the constraints and bounds.
-    Infeasible,
+    Infeasible {
+        /// Farkas dual candidate extracted from the phase-1 optimum, one
+        /// entry per constraint row. `None` when infeasibility was decided
+        /// before simplex ran (crossed bound overrides). Callers must
+        /// verify the candidate before trusting it.
+        farkas: Option<Vec<f64>>,
+    },
     /// The objective is unbounded above.
-    Unbounded,
+    Unbounded {
+        /// Improving feasible ray over the structural variables: following
+        /// it from any feasible point stays feasible and increases the
+        /// objective without bound. `None` only on degenerate paths.
+        ray: Option<Vec<f64>>,
+    },
 }
 
 /// Where a nonbasic variable currently rests.
@@ -91,7 +110,7 @@ impl Simplex {
         // legitimately produces such nodes.
         for j in 0..lb.len() {
             if lb[j] > ub[j] + FEAS_TOL {
-                return Ok(LpOutcome::Infeasible);
+                return Ok(LpOutcome::Infeasible { farkas: None });
             }
         }
         let mut t = Tableau::build(model, lb, ub);
@@ -324,13 +343,42 @@ impl Tableau {
         }
     }
 
+    /// Extracts the row dual values implied by the current reduced costs.
+    ///
+    /// For row `i` with slack column `s = n_struct + i`, the slack's reduced
+    /// cost is `d_s = c_s - y_i * T_i` where `T_i` is the build-time row
+    /// negation and the slack's column is `T_i * e_i`; slack costs are zero
+    /// in both phases and the negation cancels against the transformed row,
+    /// so `y_i = -dj[s]` holds for the *original* row orientation.
+    fn extract_duals(&self) -> Vec<f64> {
+        (0..self.m).map(|i| -self.dj[self.n_struct + i]).collect()
+    }
+
+    /// Builds the improving feasible ray for an unbounded phase-2 pivot:
+    /// entering column `j_in` moves in direction `dir` with no blocking
+    /// basic variable, so the structural components move at rate `dir` (for
+    /// `j_in` itself) and `-rows[i][j_in] * dir` (for structural basics).
+    fn extract_ray(&self, j_in: usize, dir: f64) -> Vec<f64> {
+        let mut ray = vec![0.0; self.n_struct];
+        if j_in < self.n_struct {
+            ray[j_in] = dir;
+        }
+        for i in 0..self.m {
+            let b = self.basis[i];
+            if b < self.n_struct {
+                ray[b] = -self.rows[i][j_in] * dir;
+            }
+        }
+        ray
+    }
+
     /// Runs phase 1 (if artificials exist) and phase 2.
     fn solve(&mut self) -> Result<LpOutcome> {
         if self.art_start < self.n_cols {
             self.refresh_reduced_costs(true);
             match self.optimize(true)? {
                 PhaseEnd::Optimal => {}
-                PhaseEnd::Unbounded => {
+                PhaseEnd::Unbounded { .. } => {
                     // Phase 1 objective is bounded above by zero; reaching
                     // here means numerical trouble.
                     return Err(MilpError::IterationLimit { iterations: 0 });
@@ -345,7 +393,13 @@ impl Tableau {
                     .map(|j| self.nonbasic_value(j).abs())
                     .sum::<f64>();
             if infeasibility > 1e-6 {
-                return Ok(LpOutcome::Infeasible);
+                // The phase-1 optimum's duals are a Farkas infeasibility
+                // candidate; refresh first so the extraction is not stale.
+                self.refresh_basics();
+                self.refresh_reduced_costs(true);
+                return Ok(LpOutcome::Infeasible {
+                    farkas: Some(self.extract_duals()),
+                });
             }
             // Freeze artificials at zero for phase 2.
             for j in self.art_start..self.n_cols {
@@ -360,8 +414,12 @@ impl Tableau {
         self.refresh_reduced_costs(false);
         match self.optimize(false)? {
             PhaseEnd::Optimal => {}
-            PhaseEnd::Unbounded => return Ok(LpOutcome::Unbounded),
+            PhaseEnd::Unbounded { ray } => return Ok(LpOutcome::Unbounded { ray: Some(ray) }),
         }
+        // Refresh once more so the extracted values and duals reflect the
+        // exact final basis rather than incrementally maintained state.
+        self.refresh_basics();
+        self.refresh_reduced_costs(false);
         // Extract structural values.
         let mut values = vec![0.0; self.n_struct];
         for (j, value) in values.iter_mut().enumerate() {
@@ -391,7 +449,12 @@ impl Tableau {
             .enumerate()
             .map(|(j, &x)| self.cost[j] * x)
             .sum();
-        Ok(LpOutcome::Optimal { objective, values })
+        let duals = self.extract_duals();
+        Ok(LpOutcome::Optimal {
+            objective,
+            values,
+            duals,
+        })
     }
 
     /// Pivots until optimality or unboundedness for the current phase.
@@ -492,7 +555,9 @@ impl Tableau {
             }
 
             if t_best.is_infinite() {
-                return Ok(PhaseEnd::Unbounded);
+                return Ok(PhaseEnd::Unbounded {
+                    ray: self.extract_ray(j_in, dir),
+                });
             }
 
             let improvement = self.dj[j_in].abs() * t_best;
@@ -609,7 +674,10 @@ impl Tableau {
 /// How a phase of the simplex ended.
 enum PhaseEnd {
     Optimal,
-    Unbounded,
+    Unbounded {
+        /// Improving structural ray witnessing the unbounded pivot.
+        ray: Vec<f64>,
+    },
 }
 
 /// Chooses the rest position for a nonbasic column given its bounds.
@@ -634,7 +702,9 @@ mod tests {
 
     fn assert_optimal(out: &LpOutcome, expect_obj: f64) -> Vec<f64> {
         match out {
-            LpOutcome::Optimal { objective, values } => {
+            LpOutcome::Optimal {
+                objective, values, ..
+            } => {
                 assert!(
                     (objective - expect_obj).abs() < 1e-6,
                     "objective {objective} != {expect_obj}"
@@ -689,7 +759,7 @@ mod tests {
         let mut m = Model::maximize();
         let x = m.add_var("x", VarKind::Continuous, 0.0, 1.0, 1.0);
         m.add_constraint("hi", [(x, 1.0)], Sense::Ge, 2.0);
-        assert!(matches!(lp(&m), LpOutcome::Infeasible));
+        assert!(matches!(lp(&m), LpOutcome::Infeasible { .. }));
     }
 
     #[test]
@@ -698,7 +768,7 @@ mod tests {
         let x = m.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
         let y = m.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 0.0);
         m.add_constraint("c", [(x, 1.0), (y, -1.0)], Sense::Le, 1.0);
-        assert!(matches!(lp(&m), LpOutcome::Unbounded));
+        assert!(matches!(lp(&m), LpOutcome::Unbounded { .. }));
     }
 
     #[test]
@@ -715,7 +785,7 @@ mod tests {
     fn no_constraints_unbounded() {
         let mut m = Model::maximize();
         m.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
-        assert!(matches!(lp(&m), LpOutcome::Unbounded));
+        assert!(matches!(lp(&m), LpOutcome::Unbounded { .. }));
     }
 
     #[test]
@@ -774,7 +844,7 @@ mod tests {
         let out = Simplex::default()
             .solve_with_bounds(&m, &[2.0], &[1.0])
             .unwrap();
-        assert!(matches!(out, LpOutcome::Infeasible));
+        assert!(matches!(out, LpOutcome::Infeasible { .. }));
     }
 
     #[test]
@@ -833,7 +903,10 @@ mod tests {
             m.add_constraint("pair", [(w[0], 1.0), (w[1], 1.0)], Sense::Le, 1.5);
         }
         let out = lp(&m);
-        let LpOutcome::Optimal { objective, values } = out else {
+        let LpOutcome::Optimal {
+            objective, values, ..
+        } = out
+        else {
             panic!("expected optimal");
         };
         assert!(m.is_feasible(&values, 1e-6));

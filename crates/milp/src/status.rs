@@ -45,6 +45,12 @@ pub struct SolverStats {
     /// Whether an `Infeasible` status was established by presolve's bound
     /// propagation with a machine-checkable certificate (no simplex run).
     pub presolve_certified: bool,
+    /// Certificate checks that passed when the solve ran with
+    /// [`crate::SolverConfig::audit`] (see [`crate::certify`]).
+    pub certificates_verified: usize,
+    /// Certificate checks that failed under audit (always 0 for a sound
+    /// solver; any nonzero value is a bug surfaced to the caller).
+    pub certificate_failures: usize,
 }
 
 /// Result of solving a [`crate::Model`].
@@ -59,6 +65,11 @@ pub struct Solution {
     pub values: Vec<f64>,
     /// Work counters.
     pub stats: SolverStats,
+    /// Proof-carrying audit log, attached when the solve ran with
+    /// [`crate::SolverConfig::audit`]; replayable by
+    /// [`crate::certify::certify_solution`]. Boxed: most solves do not
+    /// carry one and `Solution` stays cheap to move.
+    pub audit: Option<Box<crate::certify::SolveAudit>>,
 }
 
 impl Solution {
@@ -69,6 +80,7 @@ impl Solution {
             objective: f64::NEG_INFINITY,
             values: Vec::new(),
             stats: SolverStats::default(),
+            audit: None,
         }
     }
 
@@ -112,6 +124,7 @@ mod tests {
             objective: 3.0,
             values: vec![0.9999999, 0.2, 2.0000001],
             stats: SolverStats::default(),
+            audit: None,
         };
         assert!(sol.is_set(VarId(0)));
         assert!(!sol.is_set(VarId(1)));

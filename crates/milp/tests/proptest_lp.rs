@@ -88,7 +88,7 @@ proptest! {
         let out = Simplex::default().solve(&model).unwrap();
         // Nonnegative coefficients + finite upper bounds: always feasible
         // (origin) and bounded.
-        let LpOutcome::Optimal { objective, values } = out else {
+        let LpOutcome::Optimal { objective, values, .. } = out else {
             return Err(TestCaseError::fail("expected optimal"));
         };
         prop_assert!(model.is_feasible(&values, 1e-6),
@@ -105,7 +105,7 @@ proptest! {
     #[test]
     fn lp_objective_consistent_with_values(lp in random_lp()) {
         let model = build(&lp);
-        if let LpOutcome::Optimal { objective, values } =
+        if let LpOutcome::Optimal { objective, values, .. } =
             Simplex::default().solve(&model).unwrap()
         {
             let recomputed = model.objective_value(&values);

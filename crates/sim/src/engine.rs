@@ -464,9 +464,13 @@ impl<S: Scheduler> Simulator<S> {
                     metrics.solver_errors += 1
                 }
                 CycleError::Lint { .. } => metrics.lint_errors += 1,
+                // Counted below via `decisions.certificate_failures`.
+                CycleError::Certificate { .. } => {}
             }
         }
         metrics.lint_presolve_rejections += decisions.lint_presolve_rejections;
+        metrics.certificates_verified += decisions.certificates_verified;
+        metrics.certificate_failures += decisions.certificate_failures;
         if decisions.degraded {
             metrics.degraded_cycles += 1;
             metrics.solver_fallbacks += 1;

@@ -126,6 +126,11 @@ pub struct Metrics {
     /// Solves settled by a presolve infeasibility certificate without
     /// entering simplex.
     pub lint_presolve_rejections: usize,
+    /// Solver and translation certificates verified across all cycles
+    /// (the `certify_solves` knob; zero when certification is off).
+    pub certificates_verified: usize,
+    /// Certificates that failed verification across all cycles.
+    pub certificate_failures: usize,
     /// Node-seconds lost to down nodes over the simulated span.
     pub down_node_seconds: u64,
 }

@@ -105,6 +105,17 @@ pub enum CycleError {
         /// Rendered Error-severity diagnostics.
         detail: String,
     },
+    /// A proof-carrying solve failed verification (the `certify_solves`
+    /// knob): the solver's claimed outcome did not survive its own
+    /// certificate check (`C001`–`C003`), or the decoded placement's STRL
+    /// valuation disagreed with the MILP objective (`C004`).
+    Certificate {
+        /// The offending job for per-job solves; `None` for the cycle's
+        /// global aggregate solve.
+        job: Option<JobId>,
+        /// Rendered certificate-failure diagnostics.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CycleError {
@@ -129,6 +140,15 @@ impl std::fmt::Display for CycleError {
             }
             CycleError::Lint { job: None, detail } => {
                 write!(f, "lint rejected aggregate model: {detail}")
+            }
+            CycleError::Certificate {
+                job: Some(j),
+                detail,
+            } => {
+                write!(f, "certificate failed for {j:?}: {detail}")
+            }
+            CycleError::Certificate { job: None, detail } => {
+                write!(f, "certificate failed for global solve: {detail}")
             }
         }
     }
@@ -167,6 +187,12 @@ pub struct CycleDecisions {
     /// infeasibility certificate (lint bound propagation) without
     /// entering simplex.
     pub lint_presolve_rejections: usize,
+    /// Solver and translation certificates verified this cycle (the
+    /// `certify_solves` knob; zero when certification is off).
+    pub certificates_verified: usize,
+    /// Certificates that failed verification this cycle. Each failure is
+    /// also surfaced as a [`CycleError::Certificate`].
+    pub certificate_failures: usize,
 }
 
 /// A pluggable cluster scheduler.
@@ -272,5 +298,16 @@ mod tests {
             detail: "error[M004] crossed bounds".into(),
         };
         assert!(e.to_string().contains("aggregate model"));
+        let e = CycleError::Certificate {
+            job: Some(JobId(9)),
+            detail: "error[C001] primal check failed".into(),
+        };
+        assert!(e.to_string().contains("JobId(9)"));
+        assert!(e.to_string().contains("C001"));
+        let e = CycleError::Certificate {
+            job: None,
+            detail: "error[C004] objective mismatch".into(),
+        };
+        assert!(e.to_string().contains("global solve"));
     }
 }

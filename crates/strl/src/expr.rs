@@ -177,6 +177,89 @@ impl StrlExpr {
         h
     }
 
+    /// Evaluates the expression under a concrete placement: `granted[i]`
+    /// is the number of resources awarded to the `i`-th leaf in pre-order
+    /// walk order (the order [`StrlExpr::visit`] uses, and the order the
+    /// MILP compiler assigns leaf slots in).
+    ///
+    /// Semantics (paper Sec. 4.1): an `nCk` leaf yields its value iff at
+    /// least `k` resources are granted; `LnCk` yields
+    /// `value * min(granted, k) / k`; `max`/`min`/`sum` fold their
+    /// children; `scale` multiplies; `barrier` yields its value iff the
+    /// child valuation reaches the threshold. Missing trailing entries
+    /// count as zero grants.
+    ///
+    /// This is the STRL side of solve certification: the MILP solution,
+    /// decoded back to granted-per-leaf counts, must evaluate here to the
+    /// claimed objective (exactly when [`StrlExpr::has_relaxed_encoding`]
+    /// is false, as a lower bound otherwise).
+    pub fn placement_value(&self, granted: &[u32]) -> f64 {
+        let mut ix = 0;
+        self.placement_value_at(granted, &mut ix)
+    }
+
+    fn placement_value_at(&self, granted: &[u32], ix: &mut usize) -> f64 {
+        match self {
+            StrlExpr::NCk { k, value, .. } => {
+                let g = granted.get(*ix).copied().unwrap_or(0);
+                *ix += 1;
+                if g >= *k {
+                    *value
+                } else {
+                    0.0
+                }
+            }
+            StrlExpr::LnCk { k, value, .. } => {
+                let g = granted.get(*ix).copied().unwrap_or(0);
+                *ix += 1;
+                if *k == 0 {
+                    0.0
+                } else {
+                    value * (g.min(*k) as f64) / (*k as f64)
+                }
+            }
+            StrlExpr::Max(c) => c
+                .iter()
+                .map(|e| e.placement_value_at(granted, ix))
+                .fold(0.0, f64::max),
+            StrlExpr::Min(c) => {
+                if c.is_empty() {
+                    0.0
+                } else {
+                    c.iter()
+                        .map(|e| e.placement_value_at(granted, ix))
+                        .fold(f64::INFINITY, f64::min)
+                }
+            }
+            StrlExpr::Sum(c) => c.iter().map(|e| e.placement_value_at(granted, ix)).sum(),
+            StrlExpr::Scale { factor, child } => factor * child.placement_value_at(granted, ix),
+            StrlExpr::Barrier { value, child } => {
+                let v = child.placement_value_at(granted, ix);
+                if v >= value - 1e-9 {
+                    *value
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Whether the tree contains operators whose MILP encoding is an
+    /// inequality relaxation (`min`, `barrier`). For such trees the
+    /// compiled objective under-approximates the STRL valuation of a
+    /// placement (the solver is free to leave the coupling variable below
+    /// its implied value), so translation validation checks a `<=` bound
+    /// instead of exact equality.
+    pub fn has_relaxed_encoding(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, StrlExpr::Min(_) | StrlExpr::Barrier { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
     /// An optimistic upper bound on the value this expression can yield.
     ///
     /// Used for culling: an expression whose bound is not positive can never
@@ -337,6 +420,62 @@ mod tests {
         let leaf = StrlExpr::nck(set(&[0]), 1, 0, 1, 2.0);
         let e = StrlExpr::sum([StrlExpr::scale(3.0, leaf.clone()), leaf]);
         assert_eq!(e.value_upper_bound(), 8.0);
+    }
+
+    #[test]
+    fn placement_value_nck_threshold() {
+        let e = StrlExpr::nck(set(&[0, 1]), 2, 0, 2, 4.0);
+        assert_eq!(e.placement_value(&[2]), 4.0);
+        assert_eq!(e.placement_value(&[1]), 0.0);
+        assert_eq!(e.placement_value(&[]), 0.0);
+    }
+
+    #[test]
+    fn placement_value_lnck_scales_linearly() {
+        let e = StrlExpr::lnck(set(&[0, 1, 2, 3]), 4, 0, 2, 8.0);
+        assert_eq!(e.placement_value(&[4]), 8.0);
+        assert_eq!(e.placement_value(&[2]), 4.0);
+        assert_eq!(e.placement_value(&[6]), 8.0); // capped at k
+    }
+
+    #[test]
+    fn placement_value_operators() {
+        // max(nCk(.., k=2, v=4), nCk(.., k=2, v=3)): leaves consume grant
+        // slots in pre-order.
+        let e = gpu_choice();
+        assert_eq!(e.placement_value(&[2, 0]), 4.0);
+        assert_eq!(e.placement_value(&[0, 2]), 3.0);
+        assert_eq!(e.placement_value(&[0, 0]), 0.0);
+        let s = StrlExpr::sum([gpu_choice(), gpu_choice()]);
+        assert_eq!(s.placement_value(&[2, 0, 0, 2]), 7.0);
+        let m = StrlExpr::min([
+            StrlExpr::nck(set(&[0]), 1, 0, 1, 5.0),
+            StrlExpr::nck(set(&[1]), 1, 0, 1, 2.0),
+        ]);
+        assert_eq!(m.placement_value(&[1, 1]), 2.0);
+        assert_eq!(m.placement_value(&[1, 0]), 0.0);
+        assert_eq!(StrlExpr::Min(vec![]).placement_value(&[]), 0.0);
+    }
+
+    #[test]
+    fn placement_value_scale_and_barrier() {
+        let leaf = StrlExpr::nck(set(&[0]), 1, 0, 1, 2.0);
+        assert_eq!(
+            StrlExpr::scale(3.0, leaf.clone()).placement_value(&[1]),
+            6.0
+        );
+        assert_eq!(
+            StrlExpr::barrier(2.0, leaf.clone()).placement_value(&[1]),
+            2.0
+        );
+        assert_eq!(StrlExpr::barrier(5.0, leaf).placement_value(&[1]), 0.0);
+    }
+
+    #[test]
+    fn relaxed_encoding_detection() {
+        assert!(!gpu_choice().has_relaxed_encoding());
+        assert!(StrlExpr::min([gpu_choice()]).has_relaxed_encoding());
+        assert!(StrlExpr::barrier(1.0, gpu_choice()).has_relaxed_encoding());
     }
 
     #[test]
