@@ -3,7 +3,7 @@
 use tetrisched_baseline::CapacityScheduler;
 use tetrisched_cluster::Cluster;
 use tetrisched_core::{TetriSched, TetriSchedConfig};
-use tetrisched_sim::{FaultPlan, RetryPolicy, SimConfig, SimReport, Simulator};
+use tetrisched_sim::{FaultPlan, RetryPolicy, SimConfig, SimReport, Simulator, TelemetryConfig};
 use tetrisched_workloads::{GridmixConfig, Workload, WorkloadBuilder};
 
 /// Which scheduler stack to run.
@@ -88,6 +88,9 @@ pub fn run_spec(spec: &RunSpec) -> SimReport {
         trace: false,
         faults: spec.faults.clone(),
         retry: spec.retry,
+        // Spans, counters, and phase wall histograms for the telemetry
+        // columns of the result tables (Fig. 12-style forensics).
+        telemetry: TelemetryConfig::on(),
         ..SimConfig::default()
     };
     match &spec.kind {

@@ -49,6 +49,16 @@ pub struct MetricsRow {
     pub certificates_verified: usize,
     /// Certificates that failed verification.
     pub certificate_failures: usize,
+    /// Solves whose warm start was accepted as the incumbent.
+    pub warm_start_hits: usize,
+    /// Presolve reductions (rows dropped + bounds tightened) across all
+    /// solves.
+    pub presolve_reductions: usize,
+    /// Trace events dropped by the bounded ring buffer.
+    pub trace_events_dropped: u64,
+    /// 99th-percentile MILP solve phase wall time, milliseconds, from the
+    /// telemetry wall histograms (zero when telemetry was disabled).
+    pub phase_solve_ms_p99: f64,
 }
 
 impl MetricsRow {
@@ -78,6 +88,13 @@ impl MetricsRow {
             lint_presolve_rejections: m.lint_presolve_rejections,
             certificates_verified: m.certificates_verified,
             certificate_failures: m.certificate_failures,
+            warm_start_hits: m.warm_start_hits,
+            presolve_reductions: m.presolve_reductions,
+            trace_events_dropped: m.trace_events_dropped,
+            phase_solve_ms_p99: report
+                .telemetry
+                .wall_hist("phase.solve_secs")
+                .map_or(0.0, |h| h.quantile(0.99) * 1e3),
         }
     }
 }
@@ -126,6 +143,12 @@ impl MetricsRow {
                 / rows.len(),
             certificate_failures: rows.iter().map(|r| r.certificate_failures).sum::<usize>()
                 / rows.len(),
+            warm_start_hits: rows.iter().map(|r| r.warm_start_hits).sum::<usize>() / rows.len(),
+            presolve_reductions: rows.iter().map(|r| r.presolve_reductions).sum::<usize>()
+                / rows.len(),
+            trace_events_dropped: rows.iter().map(|r| r.trace_events_dropped).sum::<u64>()
+                / rows.len() as u64,
+            phase_solve_ms_p99: avg(|r| r.phase_solve_ms_p99),
         }
     }
 }
@@ -207,6 +230,17 @@ pub fn robustness_panels() -> Vec<Panel> {
     ]
 }
 
+/// Telemetry forensics panels: solver-internals and instrumentation-health
+/// counters surfaced by the tracing layer (beyond the paper's figures).
+pub fn telemetry_panels() -> Vec<Panel> {
+    vec![
+        ("warm-start hits", |r| r.warm_start_hits as f64),
+        ("presolve reductions", |r| r.presolve_reductions as f64),
+        ("trace events dropped", |r| r.trace_events_dropped as f64),
+        ("solve phase p99 (ms)", |r| r.phase_solve_ms_p99),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +269,10 @@ mod tests {
             lint_presolve_rejections: 0,
             certificates_verified: 0,
             certificate_failures: 0,
+            warm_start_hits: 0,
+            presolve_reductions: 0,
+            trace_events_dropped: 0,
+            phase_solve_ms_p99: 0.0,
         }
     }
 

@@ -146,6 +146,8 @@ impl TetriSched {
     ) -> bool {
         let generator = StrlGenerator::new(&self.config, ctx.cluster);
         let rack_avail = |s: &NodeSet| view.avail_at(s, ctx.now);
+        let t_gen = Instant::now();
+        let gen_span = ctx.telemetry.span("sched", "strl_gen");
         let mut requests: Vec<JobRequest> = Vec::new();
         for p in batch {
             let req = generator.job_expr(p, ctx.now, &rack_avail);
@@ -156,10 +158,16 @@ impl TetriSched {
                 self.choice_cache.remove(&p.spec.id);
             }
         }
+        gen_span.arg("requests", requests.len() as u64);
+        drop(gen_span);
+        ctx.telemetry
+            .observe_wall("phase.strl_gen_secs", t_gen.elapsed().as_secs_f64());
         // Optional pre-solver gate: reject (and strike) jobs whose
         // generated STRL fails semantic analysis instead of letting a bad
         // expression reach the compiler or solver.
         if self.config.lint_models {
+            let t_lint = Instant::now();
+            let _lint_span = ctx.telemetry.span("sched", "lint");
             let lint_ctx = self.lint_ctx(ctx.now);
             requests.retain(|r| {
                 let diags = lint_expr(&r.expr, &lint_ctx);
@@ -177,6 +185,9 @@ impl TetriSched {
                     true
                 }
             });
+            drop(_lint_span);
+            ctx.telemetry
+                .observe_wall("phase.lint_secs", t_lint.elapsed().as_secs_f64());
         }
         if requests.is_empty() {
             return true; // Nothing to place is success, not degradation.
@@ -185,6 +196,8 @@ impl TetriSched {
         let avail = |set: &NodeSet, t: Time| view.avail_at(set, t);
         // Compile the aggregate; on failure, isolate the offending jobs by
         // compiling each alone, quarantine them, and retry with the rest.
+        let t_compile = Instant::now();
+        let compile_span = ctx.telemetry.span("sched", "compile");
         let mut active = requests;
         let (compiled, partitions) = loop {
             let leaf_sets = collect_leaf_sets(active.iter().map(|r| &r.expr));
@@ -241,6 +254,11 @@ impl TetriSched {
                 }
             }
         };
+        compile_span.arg("vars", compiled.model.num_vars() as u64);
+        compile_span.arg("constraints", compiled.model.num_constraints() as u64);
+        drop(compile_span);
+        ctx.telemetry
+            .observe_wall("phase.compile_secs", t_compile.elapsed().as_secs_f64());
         // Every surviving job compiled: clear its quarantine strikes.
         for r in &active {
             self.compile_failures.remove(&r.job);
@@ -251,8 +269,14 @@ impl TetriSched {
         // Error-severity MILP diagnostic means the model is structurally
         // unsound, so degrade to greedy rather than solve it.
         if self.config.lint_models {
+            let t_lint = Instant::now();
+            let _lint_span = ctx.telemetry.span("sched", "lint");
             let diags = lint_model(&compiled.model);
-            if has_errors(&diags) {
+            let rejected = has_errors(&diags);
+            drop(_lint_span);
+            ctx.telemetry
+                .observe_wall("phase.lint_secs", t_lint.elapsed().as_secs_f64());
+            if rejected {
                 d.errors.push(CycleError::Lint {
                     job: None,
                     detail: summarize_errors(&diags),
@@ -280,9 +304,13 @@ impl TetriSched {
             });
             return false;
         }
+        let solve_span = ctx.telemetry.span("sched", "solve");
         let t0 = Instant::now();
         let sol = self.backend().solve(&compiled.model, warm.as_deref());
-        d.solver_time += t0.elapsed();
+        let solve_secs = t0.elapsed();
+        d.solver_time += solve_secs;
+        ctx.telemetry
+            .observe_wall("phase.solve_secs", solve_secs.as_secs_f64());
         let sol = match sol {
             Ok(s) => s,
             Err(e) => {
@@ -292,6 +320,11 @@ impl TetriSched {
                 return false;
             }
         };
+        solve_span.arg("lp_iterations", sol.stats.lp_iterations as u64);
+        solve_span.arg("bb_nodes", sol.stats.nodes as u64);
+        solve_span.arg("bb_nodes_pruned", sol.stats.nodes_pruned as u64);
+        drop(solve_span);
+        account_solve(ctx.telemetry, d, &sol.stats, self.config.warm_start);
         if sol.stats.presolve_certified {
             d.lint_presolve_rejections += 1;
         }
@@ -321,13 +354,19 @@ impl TetriSched {
         // expression under the decoded placement; its valuation must match
         // the MILP objective the solver just certified.
         if self.config.certify_solves {
+            let t_certify = Instant::now();
+            let _certify_span = ctx.telemetry.span("sched", "certify");
             let aggregate = StrlExpr::Sum(active.iter().map(|r| r.expr.clone()).collect());
-            match validate_translation(
+            let verdict = validate_translation(
                 &aggregate,
                 &compiled.granted(&sol),
                 sol.objective,
                 sol.stats.best_bound,
-            ) {
+            );
+            drop(_certify_span);
+            ctx.telemetry
+                .observe_wall("phase.certify_secs", t_certify.elapsed().as_secs_f64());
+            match verdict {
                 Ok(_) => d.certificates_verified += 1,
                 Err(diag) => {
                     d.certificate_failures += 1;
@@ -340,6 +379,8 @@ impl TetriSched {
             }
         }
 
+        let t_decode = Instant::now();
+        let decode_span = ctx.telemetry.span("sched", "decode");
         // Stale cache entries for batch jobs die; chosen ones re-enter.
         for tag in &all_tags {
             self.choice_cache.remove(&tag.job);
@@ -390,6 +431,10 @@ impl TetriSched {
                 });
             }
         }
+        decode_span.arg("launches", d.launches.len() as u64);
+        drop(decode_span);
+        ctx.telemetry
+            .observe_wall("phase.decode_secs", t_decode.elapsed().as_secs_f64());
         true
     }
 
@@ -404,6 +449,9 @@ impl TetriSched {
     ) {
         let generator = StrlGenerator::new(&self.config, ctx.cluster);
         let lint_ctx = self.lint_ctx(ctx.now);
+        let t_greedy = Instant::now();
+        let greedy_span = ctx.telemetry.span("sched", "greedy");
+        greedy_span.arg("batch", batch.len() as u64);
         // Concrete future claims committed earlier in this cycle.
         let mut commitments: Vec<(NodeSet, Time, Time)> = Vec::new();
         let mut assigned_now = ctx.cluster.empty_set();
@@ -485,7 +533,10 @@ impl TetriSched {
             }
             let t0 = Instant::now();
             let sol = self.backend().solve(&compiled.model, None);
-            d.solver_time += t0.elapsed();
+            let solve_secs = t0.elapsed();
+            d.solver_time += solve_secs;
+            ctx.telemetry
+                .observe_wall("phase.solve_secs", solve_secs.as_secs_f64());
             let sol = match sol {
                 Ok(s) => s,
                 Err(e) => {
@@ -495,6 +546,7 @@ impl TetriSched {
                     continue;
                 }
             };
+            account_solve(ctx.telemetry, d, &sol.stats, false);
             if sol.stats.presolve_certified {
                 d.lint_presolve_rejections += 1;
             }
@@ -596,6 +648,9 @@ impl TetriSched {
                 });
             }
         }
+        drop(greedy_span);
+        ctx.telemetry
+            .observe_wall("phase.greedy_secs", t_greedy.elapsed().as_secs_f64());
     }
 
     /// Opt-in extension (the paper's stated future work, Sec. 7.2):
@@ -728,8 +783,14 @@ impl Scheduler for TetriSched {
 
     fn cycle(&mut self, ctx: &CycleContext<'_>) -> CycleDecisions {
         let mut d = CycleDecisions::default();
+        let t_collect = Instant::now();
+        let collect_span = ctx.telemetry.span("sched", "collect");
         let view = self.adjust_estimates(ctx, &mut d);
         let batch = self.select_batch(ctx, &mut d);
+        collect_span.arg("batch", batch.len() as u64);
+        drop(collect_span);
+        ctx.telemetry
+            .observe_wall("phase.collect_secs", t_collect.elapsed().as_secs_f64());
         if batch.is_empty() {
             return d;
         }
@@ -775,6 +836,42 @@ fn record_job_failure_in(
         d.abandons.push(job);
         choice_cache.remove(&job);
         compile_failures.remove(&job);
+    }
+}
+
+/// Publishes one solve's [`tetrisched_milp::SolverStats`] into telemetry
+/// counters and the cycle's decision tallies. `warm_configured` is whether
+/// the scheduler attempted to warm-start this solve: a hit means the
+/// solver accepted the warm incumbent, a miss means warm-starting was on
+/// but no warm point survived (none built, or the solver rejected it).
+fn account_solve(
+    telemetry: &tetrisched_sim::Telemetry,
+    d: &mut CycleDecisions,
+    stats: &tetrisched_milp::SolverStats,
+    warm_configured: bool,
+) {
+    telemetry.counter_add("milp.lp_iterations", stats.lp_iterations as u64);
+    telemetry.counter_add("milp.lp_solves", stats.lp_solves as u64);
+    telemetry.counter_add("milp.refactorizations", stats.refactorizations as u64);
+    telemetry.counter_add("milp.bb_nodes", stats.nodes as u64);
+    telemetry.counter_add("milp.bb_nodes_pruned", stats.nodes_pruned as u64);
+    telemetry.counter_add(
+        "milp.presolve_rows_dropped",
+        stats.presolve_rows_dropped as u64,
+    );
+    telemetry.counter_add(
+        "milp.presolve_bounds_tightened",
+        stats.presolve_bounds_tightened as u64,
+    );
+    d.presolve_reductions += stats.presolve_rows_dropped + stats.presolve_bounds_tightened;
+    if warm_configured {
+        if stats.warm_start_used {
+            d.warm_start_hits += 1;
+            telemetry.counter_add("sched.warm_start_hits", 1);
+        } else {
+            d.warm_start_misses += 1;
+            telemetry.counter_add("sched.warm_start_misses", 1);
+        }
     }
 }
 

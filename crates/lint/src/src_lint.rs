@@ -19,6 +19,12 @@
 //!   feeds variable/constraint order and thus solver pivoting, so any
 //!   hash-seed dependence would break run-to-run reproducibility and the
 //!   certificate audit replay. Use `BTreeMap`/`BTreeSet`.
+//! - `L005` — no process-clock access (`std::time` in any form) inside
+//!   `crates/telemetry`: the telemetry registry's notion of time is
+//!   *injected* by callers (`advance` for sim time, `observe_wall` for
+//!   durations callers measured under their own `L001` allowlist entry).
+//!   Unlike `L001` this rule has no allowlist, so the exporters stay
+//!   byte-identical across same-seed runs by construction.
 //!
 //! Test modules (`#[cfg(test)]` and beyond), `tests/`/`benches/` trees, and
 //! comment lines are exempt from the `.rs` rules. The scan is line-based
@@ -76,6 +82,16 @@ const NO_HASH_COLLECTION_PREFIXES: [&str; 3] = [
 /// comment explaining why iteration order provably cannot leak into model
 /// construction or certification.
 const HASH_COLLECTION_ALLOWLIST: [&str; 0] = [];
+
+/// Crate subtrees that must never touch process clocks at all — not even
+/// via an `L001` allowlist entry. The telemetry registry's time is
+/// injected by its callers, which is what makes its exports byte-stable
+/// across same-seed runs; deliberately no allowlist.
+const CLOCK_INJECTED_PREFIXES: [&str; 1] = ["crates/telemetry/src/"];
+
+/// Any `std::time` mention (broader than the `L001` needles: also catches
+/// imports and `Duration`-producing clock plumbing).
+const STD_TIME_PATTERN: &str = concat!("std::", "time");
 
 /// Result of a workspace scan.
 #[derive(Debug, Default)]
@@ -139,6 +155,7 @@ fn lint_rust_file(rel: &str, path: &Path, report: &mut SrcLintReport) -> io::Res
         .iter()
         .any(|p| rel.starts_with(p))
         && !HASH_COLLECTION_ALLOWLIST.contains(&rel);
+    let clock_injected = CLOCK_INJECTED_PREFIXES.iter().any(|p| rel.starts_with(p));
     for (i, line) in text.lines().enumerate() {
         // Everything from the first test-module marker on is test code.
         if line.contains(CFG_TEST_PATTERN) {
@@ -172,6 +189,25 @@ fn lint_rust_file(rel: &str, path: &Path, report: &mut SrcLintReport) -> io::Res
                  invariant message or propagate a `Result`",
                 format!("{rel}:{lineno}"),
             ));
+        }
+        if clock_injected {
+            for pat in WALL_CLOCK_PATTERNS
+                .iter()
+                .chain(std::iter::once(&STD_TIME_PATTERN))
+            {
+                if trimmed.contains(pat) {
+                    report.diagnostics.push(Diagnostic::new(
+                        "L005",
+                        Severity::Error,
+                        format!(
+                            "process-clock access (`{pat}`) inside the telemetry crate: \
+                             time must be injected by callers (`advance` / \
+                             `observe_wall`) so exports stay byte-identical"
+                        ),
+                        format!("{rel}:{lineno}"),
+                    ));
+                }
+            }
         }
         if hash_checked {
             for pat in HASH_COLLECTION_PATTERNS {
@@ -317,6 +353,30 @@ mod tests {
         assert_eq!(dep_subsection("[dev-dependencies.rand]"), Some("rand"));
         assert_eq!(dep_subsection("[package]"), None);
         assert_eq!(dep_subsection("[dependencies]"), None);
+    }
+
+    #[test]
+    fn l005_flags_clock_access_in_telemetry_sources() {
+        let dir = std::env::temp_dir().join(format!("srclint-l005-{}", std::process::id()));
+        let src = dir.join("crates/telemetry/src");
+        fs::create_dir_all(&src).expect("temp tree");
+        fs::write(
+            src.join("lib.rs"),
+            "use std::time::Instant;\nfn now() -> Instant { Instant::now() }\n",
+        )
+        .expect("write fixture");
+        let report = lint_workspace(&dir).expect("scan");
+        let l005: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "L005")
+            .collect();
+        assert!(
+            l005.len() >= 2,
+            "expected L005 on both the import and the call, got {:?}",
+            report.diagnostics
+        );
+        fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

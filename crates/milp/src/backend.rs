@@ -90,12 +90,26 @@ impl HeuristicBackend {
     }
 
     fn solve_inner(&self, model: &Model, warm: Option<&[f64]>) -> Result<Solution> {
+        let simplex = Simplex::new(self.config.max_lp_iterations);
+        let mut sol = self.solve_with_simplex(model, warm, &simplex)?;
+        // LP work counters accumulate on the Simplex across root solve and
+        // dive; surface them once here.
+        sol.stats.lp_iterations = simplex.iterations();
+        sol.stats.refactorizations = simplex.refactorizations();
+        Ok(sol)
+    }
+
+    fn solve_with_simplex(
+        &self,
+        model: &Model,
+        warm: Option<&[f64]>,
+        simplex: &Simplex,
+    ) -> Result<Solution> {
         model.validate()?;
         // Same certificate cross-check as the exact path (debug builds only).
         crate::lint::debug_precheck(model);
         let start = std::time::Instant::now();
         let mut stats = SolverStats::default();
-        let simplex = Simplex::new(self.config.max_lp_iterations);
 
         // Warm-start incumbent, as in the exact path.
         let mut incumbent: Option<(f64, Vec<f64>)> = None;
@@ -171,7 +185,7 @@ impl HeuristicBackend {
 
         if let Some((obj, values)) = heuristics::dive_public(
             model,
-            &simplex,
+            simplex,
             &lb,
             &ub,
             &root_values,

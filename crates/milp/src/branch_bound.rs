@@ -113,6 +113,21 @@ impl BranchBound {
     }
 
     fn solve_inner(&self, model: &Model, warm: Option<&[f64]>) -> Result<Solution> {
+        let simplex = Simplex::new(self.config.max_lp_iterations);
+        let mut sol = self.solve_with_simplex(model, warm, &simplex)?;
+        // LP work counters accumulate on the Simplex instance across the
+        // root solve, dives, and node relaxations; surface them once here.
+        sol.stats.lp_iterations = simplex.iterations();
+        sol.stats.refactorizations = simplex.refactorizations();
+        Ok(sol)
+    }
+
+    fn solve_with_simplex(
+        &self,
+        model: &Model,
+        warm: Option<&[f64]>,
+        simplex: &Simplex,
+    ) -> Result<Solution> {
         model.validate()?;
         // Debug builds cross-check every lint infeasibility certificate
         // against the model; compiled out in release builds.
@@ -120,7 +135,6 @@ impl BranchBound {
         let start = Instant::now();
         let cfg = &self.config;
         let auditing = cfg.audit;
-        let simplex = Simplex::new(cfg.max_lp_iterations);
         let n = model.num_vars();
         let mut stats = SolverStats::default();
 
@@ -152,7 +166,13 @@ impl BranchBound {
                         audit,
                     });
                 }
-                crate::presolve::PresolveOutcome::Reduced { model: m, .. } => {
+                crate::presolve::PresolveOutcome::Reduced {
+                    model: m,
+                    rows_dropped,
+                    bounds_tightened,
+                } => {
+                    stats.presolve_rows_dropped = rows_dropped;
+                    stats.presolve_bounds_tightened = bounds_tightened;
                     presolved = m;
                     &presolved
                 }
@@ -267,7 +287,7 @@ impl BranchBound {
         if cfg.enable_diving {
             if let Some((obj, values)) = dive(
                 model,
-                &simplex,
+                simplex,
                 &base_lb,
                 &base_ub,
                 &root_values,
@@ -368,6 +388,7 @@ impl BranchBound {
                     (obj, values)
                 }
                 LpOutcome::Infeasible { farkas } => {
+                    stats.nodes_pruned += 1;
                     if auditing {
                         let proof = mint_infeasibility_proof(model, &lb_buf, &ub_buf, farkas);
                         audit_nodes[node.aid].status = NodeStatus::PrunedInfeasible { proof };
@@ -404,6 +425,7 @@ impl BranchBound {
             // exploring).
             if let Some((inc_obj, _)) = &incumbent {
                 if obj <= inc_obj + cfg.rel_gap * inc_obj.abs().max(1.0) {
+                    stats.nodes_pruned += 1;
                     if auditing {
                         audit_nodes[node.aid].status = NodeStatus::PrunedByBound {
                             incumbent: *inc_obj,

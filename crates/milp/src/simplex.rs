@@ -15,6 +15,7 @@
 
 use crate::error::{MilpError, Result};
 use crate::model::{Model, Sense};
+use std::cell::Cell;
 
 /// Tolerance for reduced-cost optimality checks.
 const COST_TOL: f64 = 1e-7;
@@ -75,25 +76,47 @@ enum ColState {
 /// Reusable LP solver.
 ///
 /// A `Simplex` owns no problem state between calls; it exists to carry the
-/// iteration limit and to namespace the solve entry points.
+/// iteration limit, to namespace the solve entry points, and to accumulate
+/// work counters across the solves it performs (read back by
+/// branch-and-bound for telemetry via [`Simplex::iterations`] /
+/// [`Simplex::refactorizations`]).
 #[derive(Debug, Clone)]
 pub struct Simplex {
     /// Maximum pivots per phase before reporting numerical trouble.
     pub max_iterations: usize,
+    /// Cumulative pivots across all solves by this instance. `Cell`
+    /// because the solve entry points take `&self`.
+    iterations: Cell<usize>,
+    /// Cumulative basis refreshes (dense refactorizations) across all
+    /// solves by this instance.
+    refactorizations: Cell<usize>,
 }
 
 impl Default for Simplex {
     fn default() -> Self {
-        Self {
-            max_iterations: 200_000,
-        }
+        Self::new(200_000)
     }
 }
 
 impl Simplex {
     /// Creates a solver with the given per-phase iteration limit.
     pub fn new(max_iterations: usize) -> Self {
-        Self { max_iterations }
+        Self {
+            max_iterations,
+            iterations: Cell::new(0),
+            refactorizations: Cell::new(0),
+        }
+    }
+
+    /// Cumulative simplex pivots across all solves by this instance.
+    pub fn iterations(&self) -> usize {
+        self.iterations.get()
+    }
+
+    /// Cumulative basis refactorizations across all solves by this
+    /// instance (periodic refreshes plus phase-boundary refreshes).
+    pub fn refactorizations(&self) -> usize {
+        self.refactorizations.get()
     }
 
     /// Solves the LP relaxation of `model` using the model's own bounds.
@@ -115,7 +138,11 @@ impl Simplex {
         }
         let mut t = Tableau::build(model, lb, ub);
         t.max_iterations = self.max_iterations;
-        t.solve()
+        let out = t.solve();
+        self.iterations.set(self.iterations.get() + t.iterations);
+        self.refactorizations
+            .set(self.refactorizations.get() + t.refactorizations);
+        out
     }
 }
 
@@ -152,6 +179,10 @@ struct Tableau {
     art_start: usize,
     /// Iteration limit per phase.
     max_iterations: usize,
+    /// Pivots performed across both phases (telemetry).
+    iterations: usize,
+    /// Basis refreshes performed (telemetry).
+    refactorizations: usize,
 }
 
 impl Tableau {
@@ -282,6 +313,8 @@ impl Tableau {
             x_basic,
             art_start,
             max_iterations: 200_000,
+            iterations: 0,
+            refactorizations: 0,
         }
     }
 
@@ -297,6 +330,7 @@ impl Tableau {
 
     /// Recomputes all basic values from the tableau (numerical refresh).
     fn refresh_basics(&mut self) {
+        self.refactorizations += 1;
         for i in 0..self.m {
             let mut v = self.rhs[i];
             let row = &self.rows[i];
@@ -465,6 +499,7 @@ impl Tableau {
         let mut since_refresh = 0usize;
         loop {
             iterations += 1;
+            self.iterations += 1;
             if iterations > self.max_iterations {
                 return Err(MilpError::IterationLimit { iterations });
             }

@@ -30,10 +30,19 @@ impl SolveStatus {
 pub struct SolverStats {
     /// Branch-and-bound nodes explored.
     pub nodes: usize,
+    /// Branch-and-bound nodes pruned without an LP solve being useful:
+    /// infeasible children plus nodes cut off by the incumbent bound.
+    pub nodes_pruned: usize,
     /// Total simplex iterations across all LP solves.
     pub lp_iterations: usize,
+    /// Basis refactorizations performed across all LP solves.
+    pub refactorizations: usize,
     /// Number of LP relaxations solved.
     pub lp_solves: usize,
+    /// Constraint rows removed by presolve before the solve proper.
+    pub presolve_rows_dropped: usize,
+    /// Variable bounds tightened by presolve before the solve proper.
+    pub presolve_bounds_tightened: usize,
     /// Wall-clock time of the solve in seconds.
     pub wall_secs: f64,
     /// Best dual (upper) bound proven.

@@ -10,12 +10,14 @@ use tetrisched_cluster::{AllocHandle, Cluster, Ledger, NodeId, NodeSet};
 use tetrisched_reservation::{Reservation, ReservationSystem};
 use tetrisched_strl::{Atom, JobClass, Window};
 
+use tetrisched_telemetry::{Telemetry, TelemetryConfig};
+
 use crate::event::{EventKind, EventQueue};
 use crate::fault::{FaultPlan, RetryPolicy};
 use crate::job::{JobId, JobOutcome, JobSpec};
 use crate::metrics::Metrics;
 use crate::scheduler::{CycleContext, CycleError, PendingJob, RunningJob, Scheduler};
-use crate::trace::{TraceEvent, TraceLog};
+use crate::trace::{TraceEvent, TraceLog, DEFAULT_TRACE_CAPACITY};
 use crate::Time;
 
 /// Engine configuration.
@@ -35,6 +37,13 @@ pub struct SimConfig {
     /// (`free + allocated + down == total`) is checked after **every**
     /// event even in release builds; debug builds always check.
     pub strict_accounting: bool,
+    /// Maximum trace events retained (ring-buffer semantics); older events
+    /// are evicted and counted in `Metrics::trace_events_dropped`.
+    pub trace_capacity: usize,
+    /// Telemetry registry options (disabled by default). Enabling records
+    /// spans, counters, and histograms into `SimReport::telemetry` without
+    /// changing any scheduling decision.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for SimConfig {
@@ -46,6 +55,8 @@ impl Default for SimConfig {
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
             strict_accounting: false,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -65,6 +76,11 @@ pub struct SimReport {
     pub scheduler_name: String,
     /// Simulated time at which the run ended.
     pub end_time: Time,
+    /// Telemetry recorded during the run (empty unless enabled via
+    /// [`SimConfig::telemetry`]); export with
+    /// [`Telemetry::to_jsonl`] / [`Telemetry::to_chrome_trace`] /
+    /// [`Telemetry::to_prometheus`].
+    pub telemetry: Telemetry,
 }
 
 #[derive(Debug, Clone)]
@@ -119,8 +135,9 @@ impl<S: Scheduler> Simulator<S> {
         let mut ledger = Ledger::new(num_nodes);
         let mut rs = ReservationSystem::new(num_nodes as u32);
         let mut queue = EventQueue::new();
-        let mut trace = TraceLog::new(self.config.trace);
+        let mut trace = TraceLog::with_capacity(self.config.trace, self.config.trace_capacity);
         let mut metrics = Metrics::default();
+        let telemetry = Telemetry::new(self.config.telemetry.clone());
 
         let mut records: HashMap<JobId, JobRecord> = HashMap::new();
         let mut pending_order: Vec<JobId> = Vec::new();
@@ -176,6 +193,8 @@ impl<S: Scheduler> Simulator<S> {
                     break;
                 }
             }
+            telemetry.advance(now);
+            telemetry.counter_add(event_counter(&ev.kind), 1);
             match ev.kind {
                 EventKind::Submit { job } => {
                     let rec = records.get_mut(&job).expect("unknown job submitted");
@@ -328,6 +347,7 @@ impl<S: Scheduler> Simulator<S> {
                         &mut queue,
                         &mut metrics,
                         &mut trace,
+                        &telemetry,
                         &mut remaining,
                     );
                     if remaining > 0 {
@@ -386,6 +406,8 @@ impl<S: Scheduler> Simulator<S> {
         for since in down_since.iter().flatten() {
             metrics.down_node_seconds += now.saturating_sub(*since);
         }
+        metrics.trace_events_dropped = trace.dropped();
+        telemetry.counter_add("sim.trace_events_dropped", trace.dropped());
 
         SimReport {
             metrics,
@@ -394,6 +416,7 @@ impl<S: Scheduler> Simulator<S> {
             trace,
             scheduler_name: self.scheduler.name().to_string(),
             end_time: now,
+            telemetry,
         }
     }
 
@@ -408,8 +431,13 @@ impl<S: Scheduler> Simulator<S> {
         queue: &mut EventQueue,
         metrics: &mut Metrics,
         trace: &mut TraceLog,
+        telemetry: &Telemetry,
         remaining: &mut usize,
     ) {
+        // The cycle span wraps view building, the scheduler call (whose
+        // phase spans nest under it), and decision application.
+        let cycle_span = telemetry.span("sim", "cycle");
+        cycle_span.arg("cycle", metrics.cycle_latency.count() as u64);
         // Build the scheduler's views.
         pending_order.retain(|id| matches!(records[id].state, JobState::Pending));
         let pending: Vec<PendingJob> = pending_order
@@ -447,13 +475,37 @@ impl<S: Scheduler> Simulator<S> {
                 ledger,
                 pending: &pending,
                 running: &running,
+                telemetry,
             };
             self.scheduler.cycle(&ctx)
         };
-        metrics.cycle_latency.push(wall.elapsed().as_secs_f64());
+        let cycle_secs = wall.elapsed().as_secs_f64();
+        metrics.cycle_latency.push(cycle_secs);
         metrics
             .solver_latency
             .push(decisions.solver_time.as_secs_f64());
+        // Wall durations are measured here (this file is on the srclint
+        // L001 allowlist) and enter telemetry only as wall-domain
+        // observations, which default exports exclude.
+        telemetry.observe_wall("cycle.wall_secs", cycle_secs);
+        telemetry.observe_wall("solver.wall_secs", decisions.solver_time.as_secs_f64());
+        telemetry.observe_sim("sched.pending_jobs", pending.len() as f64);
+        telemetry.observe_sim("sched.running_jobs", running.len() as f64);
+        cycle_span.arg("pending", pending.len() as u64);
+        cycle_span.arg("running", running.len() as u64);
+        cycle_span.arg("launches", decisions.launches.len() as u64);
+        cycle_span.arg("preemptions", decisions.preemptions.len() as u64);
+        cycle_span.arg("errors", decisions.errors.len() as u64);
+        cycle_span.arg("degraded", u64::from(decisions.degraded));
+        telemetry.counter_add("sim.launches", decisions.launches.len() as u64);
+        telemetry.counter_add("sim.preemptions", decisions.preemptions.len() as u64);
+        telemetry.counter_add("sim.abandons", decisions.abandons.len() as u64);
+        if decisions.degraded {
+            telemetry.counter_add("sim.degraded_cycles", 1);
+        }
+        metrics.warm_start_hits += decisions.warm_start_hits;
+        metrics.warm_start_misses += decisions.warm_start_misses;
+        metrics.presolve_reductions += decisions.presolve_reductions;
 
         // Surface degraded-mode signals: cycles report non-fatal errors
         // instead of panicking or silently dropping work.
@@ -580,6 +632,18 @@ fn pending_view(rec: &JobRecord) -> PendingJob {
         class: rec.class,
         reservation: rec.reservation,
         preemptions: rec.preemptions,
+    }
+}
+
+/// Telemetry counter name for an event kind (`sim.events.*`).
+fn event_counter(kind: &EventKind) -> &'static str {
+    match kind {
+        EventKind::Submit { .. } => "sim.events.submit",
+        EventKind::Complete { .. } => "sim.events.complete",
+        EventKind::NodeDown { .. } => "sim.events.node_down",
+        EventKind::NodeUp { .. } => "sim.events.node_up",
+        EventKind::Resubmit { .. } => "sim.events.resubmit",
+        EventKind::CycleTick => "sim.events.cycle_tick",
     }
 }
 

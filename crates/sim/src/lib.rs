@@ -35,7 +35,13 @@ pub use metrics::{LatencyStats, Metrics};
 pub use scheduler::{
     CycleContext, CycleDecisions, CycleError, Launch, PendingJob, RunningJob, Scheduler,
 };
-pub use trace::{TraceEvent, TraceLog};
+pub use trace::{TraceEvent, TraceLog, DEFAULT_TRACE_CAPACITY};
+// Re-exported so engine embedders can configure and read telemetry without
+// naming the telemetry crate directly.
+pub use tetrisched_telemetry::{
+    HistogramSketch, SpanGuard, SpanRecord, Telemetry, TelemetryConfig, TelemetrySnapshot,
+    TimeDomain,
+};
 
 /// Simulated wall-clock time in seconds (re-exported convention).
 pub type Time = tetrisched_cluster::Time;

@@ -7,9 +7,19 @@
 //! time around each cycle.
 
 /// An accumulating sample set with summary statistics.
+///
+/// Quantile queries use a lazily maintained sorted cache: the first query
+/// after a batch of pushes sorts once, and subsequent queries are O(1)
+/// lookups — instead of the previous clone + O(n log n) sort *per call*.
+/// The cache lives behind interior mutability so the read-only query
+/// signatures are unchanged.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyStats {
     samples: Vec<f64>,
+    /// Sorted copy of `samples`, rebuilt lazily when `dirty`.
+    sorted: std::cell::RefCell<Vec<f64>>,
+    /// Whether `sorted` is stale relative to `samples`.
+    dirty: std::cell::Cell<bool>,
 }
 
 impl LatencyStats {
@@ -21,6 +31,18 @@ impl LatencyStats {
     /// Records one sample.
     pub fn push(&mut self, v: f64) {
         self.samples.push(v);
+        self.dirty.set(true);
+    }
+
+    /// Rebuilds the sorted cache if stale.
+    fn ensure_sorted(&self) {
+        if self.dirty.get() || self.sorted.borrow().len() != self.samples.len() {
+            let mut sorted = self.sorted.borrow_mut();
+            sorted.clear();
+            sorted.extend_from_slice(&self.samples);
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            self.dirty.set(false);
+        }
     }
 
     /// Number of samples.
@@ -47,25 +69,25 @@ impl LatencyStats {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        self.ensure_sorted();
+        let sorted = self.sorted.borrow();
         let rank = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
         sorted[rank]
     }
 
     /// CDF points `(value, cumulative_fraction)` for plotting (Fig. 12(c)).
     pub fn cdf(&self) -> Vec<(f64, f64)> {
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        self.ensure_sorted();
+        let sorted = self.sorted.borrow();
         let n = sorted.len();
         sorted
-            .into_iter()
+            .iter()
             .enumerate()
-            .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
+            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
             .collect()
     }
 
-    /// Raw samples.
+    /// Raw samples, in insertion order.
     pub fn samples(&self) -> &[f64] {
         &self.samples
     }
@@ -133,6 +155,16 @@ pub struct Metrics {
     pub certificate_failures: usize,
     /// Node-seconds lost to down nodes over the simulated span.
     pub down_node_seconds: u64,
+    /// Global solves whose warm start was accepted as the incumbent.
+    pub warm_start_hits: usize,
+    /// Global solves that built a warm start the solver did not use.
+    pub warm_start_misses: usize,
+    /// Presolve reductions (rows dropped + bounds tightened) across all
+    /// solves.
+    pub presolve_reductions: usize,
+    /// Trace events evicted by the trace retention bound
+    /// ([`crate::TraceLog::dropped`]).
+    pub trace_events_dropped: u64,
 }
 
 impl Metrics {
@@ -212,6 +244,45 @@ mod tests {
         assert_eq!(s.max(), 0.0);
         assert_eq!(s.quantile(0.5), 0.0);
         assert!(s.cdf().is_empty());
+    }
+
+    /// Regression for the sorted-cache rewrite: quantiles and CDF must be
+    /// identical to the reference clone-and-sort-per-call implementation,
+    /// including when queries interleave with pushes.
+    #[test]
+    fn cached_quantiles_match_reference_implementation() {
+        let reference_quantile = |samples: &[f64], q: f64| -> f64 {
+            let mut sorted = samples.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let rank = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
+            sorted[rank]
+        };
+        let mut s = LatencyStats::new();
+        let mut pushed = Vec::new();
+        // Deterministic pseudo-random-ish stream, interleaving queries so
+        // the cache is invalidated and rebuilt repeatedly.
+        for i in 0..500u64 {
+            let v = ((i * 2_654_435_761) % 1000) as f64 / 7.0;
+            s.push(v);
+            pushed.push(v);
+            if i % 37 == 0 {
+                for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                    assert_eq!(s.quantile(q), reference_quantile(&pushed, q), "q={q} i={i}");
+                }
+            }
+        }
+        for q in [0.0, 0.1, 0.5, 0.95, 1.0] {
+            assert_eq!(s.quantile(q), reference_quantile(&pushed, q));
+        }
+        // CDF agrees with the reference shape.
+        let cdf = s.cdf();
+        assert_eq!(cdf.len(), pushed.len());
+        let mut sorted = pushed.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        for (i, (v, frac)) in cdf.iter().enumerate() {
+            assert_eq!(*v, sorted[i]);
+            assert!((frac - (i + 1) as f64 / pushed.len() as f64).abs() < 1e-12);
+        }
     }
 
     #[test]

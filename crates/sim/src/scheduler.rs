@@ -5,6 +5,7 @@ use std::time::Duration;
 use tetrisched_cluster::{Cluster, Ledger, NodeId};
 use tetrisched_reservation::Reservation;
 use tetrisched_strl::JobClass;
+use tetrisched_telemetry::Telemetry;
 
 use crate::job::{JobId, JobSpec};
 use crate::Time;
@@ -55,6 +56,10 @@ pub struct CycleContext<'a> {
     pub pending: &'a [PendingJob],
     /// Currently running jobs.
     pub running: &'a [RunningJob],
+    /// The engine's telemetry registry. Schedulers open phase spans and
+    /// bump counters through it; a disabled registry (the default) makes
+    /// every call a no-op, so instrumentation is safe to leave in place.
+    pub telemetry: &'a Telemetry,
 }
 
 /// A launch decision: start `job` on `nodes` now.
@@ -193,6 +198,14 @@ pub struct CycleDecisions {
     /// Certificates that failed verification this cycle. Each failure is
     /// also surfaced as a [`CycleError::Certificate`].
     pub certificate_failures: usize,
+    /// Solves this cycle whose warm start was accepted as the incumbent.
+    pub warm_start_hits: usize,
+    /// Solves this cycle that built a warm start the solver rejected (or
+    /// had none to offer while warm-starting was on).
+    pub warm_start_misses: usize,
+    /// Presolve reductions (constraint rows dropped + variable bounds
+    /// tightened) across this cycle's solves.
+    pub presolve_reductions: usize,
 }
 
 /// A pluggable cluster scheduler.

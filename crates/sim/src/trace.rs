@@ -137,37 +137,83 @@ impl TraceEvent {
     }
 }
 
-/// An append-only log of trace events; disabled by default in experiments.
-#[derive(Debug, Clone, Default)]
+/// Default retention bound for [`TraceLog`]: 64k events.
+pub const DEFAULT_TRACE_CAPACITY: usize = 64 * 1024;
+
+/// A bounded log of trace events; disabled by default in experiments.
+///
+/// Retention is ring-buffer-like: only the most recent `capacity` events
+/// are kept, and older ones are counted in [`TraceLog::dropped`] instead
+/// of growing memory linearly over long churn runs. Eviction is amortized
+/// O(1): the backing vector is allowed to grow to `2 * capacity` before
+/// the oldest half is drained in one move.
+#[derive(Debug, Clone)]
 pub struct TraceLog {
     enabled: bool,
+    capacity: usize,
     events: Vec<TraceEvent>,
+    recorded: u64,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        TraceLog::new(false)
+    }
 }
 
 impl TraceLog {
-    /// Creates a log; when `enabled` is false, records are dropped.
+    /// Creates a log with the default retention bound; when `enabled` is
+    /// false, records are dropped.
     pub fn new(enabled: bool) -> Self {
+        TraceLog::with_capacity(enabled, DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Creates a log retaining at most `capacity` most-recent events.
+    pub fn with_capacity(enabled: bool, capacity: usize) -> Self {
         TraceLog {
             enabled,
+            capacity: capacity.max(1),
             events: Vec::new(),
+            recorded: 0,
         }
     }
 
     /// Records an event (no-op when disabled).
     pub fn record(&mut self, e: TraceEvent) {
-        if self.enabled {
-            self.events.push(e);
+        if !self.enabled {
+            return;
         }
+        if self.events.len() >= self.capacity * 2 {
+            self.events.drain(..self.capacity);
+        }
+        self.events.push(e);
+        self.recorded += 1;
     }
 
-    /// All recorded events in order.
+    /// The most recent events (at most `capacity` of them), in order.
     pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+        let start = self.events.len().saturating_sub(self.capacity);
+        &self.events[start..]
     }
 
-    /// Events concerning one job, in order.
+    /// Total events ever recorded, including ones no longer retained.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted by the retention bound.
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.events().len() as u64
+    }
+
+    /// Retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Retained events concerning one job, in order.
     pub fn for_job(&self, job: JobId) -> Vec<&TraceEvent> {
-        self.events
+        self.events()
             .iter()
             .filter(|e| e.job() == Some(job))
             .collect()
@@ -234,5 +280,38 @@ mod tests {
         assert_eq!(log.events()[1].job(), Some(JobId(2)));
         assert_eq!(log.events()[2].at(), 9);
         assert_eq!(log.for_job(JobId(2)).len(), 1);
+    }
+
+    #[test]
+    fn retention_bound_keeps_most_recent_and_counts_drops() {
+        let mut log = TraceLog::with_capacity(true, 4);
+        for t in 0..10 {
+            log.record(TraceEvent::Resubmitted {
+                job: JobId(t),
+                at: t,
+            });
+        }
+        assert_eq!(log.recorded(), 10);
+        assert_eq!(log.events().len(), 4);
+        assert_eq!(log.dropped(), 6);
+        // The retained window is the most recent four events, in order.
+        let times: Vec<_> = log.events().iter().map(|e| e.at()).collect();
+        assert_eq!(times, vec![6, 7, 8, 9]);
+        assert_eq!(log.for_job(JobId(9)).len(), 1);
+        assert!(log.for_job(JobId(0)).is_empty());
+    }
+
+    #[test]
+    fn under_capacity_log_drops_nothing() {
+        let mut log = TraceLog::new(true);
+        for t in 0..100 {
+            log.record(TraceEvent::Resubmitted {
+                job: JobId(1),
+                at: t,
+            });
+        }
+        assert_eq!(log.recorded(), 100);
+        assert_eq!(log.dropped(), 0);
+        assert_eq!(log.events().len(), 100);
     }
 }

@@ -1,0 +1,72 @@
+//! Golden tests: the JSONL and Chrome-trace exports of a small fixed
+//! scenario must match byte-for-byte. The scenario mirrors one scheduler
+//! cycle (cycle span wrapping solve/decode phases plus counters), built
+//! deterministically so these strings are stable across runs and
+//! platforms.
+
+use tetrisched_telemetry::{Telemetry, TelemetryConfig};
+
+/// One hand-driven "cycle" with two phases, a counter, and a histogram.
+fn fixed_scenario() -> Telemetry {
+    let t = Telemetry::new(TelemetryConfig::on());
+    t.advance(4);
+    {
+        let cycle = t.span("sim", "cycle");
+        cycle.arg("cycle", 1);
+        {
+            let _solve = t.span("sched", "solve");
+        }
+        {
+            let _decode = t.span("sched", "decode");
+        }
+    }
+    t.counter_add("sim.launches", 2);
+    t.observe_sim("sched.batch_size", 2.0);
+    t.observe_sim("sched.batch_size", 4.0);
+    t
+}
+
+#[test]
+fn jsonl_golden() {
+    let expected = "\
+{\"type\":\"meta\",\"spans\":3,\"spans_dropped\":0}
+{\"type\":\"span\",\"id\":0,\"parent\":null,\"cat\":\"sim\",\"name\":\"cycle\",\"start_us\":4000000,\"end_us\":4000005,\"args\":{\"cycle\":1}}
+{\"type\":\"span\",\"id\":1,\"parent\":0,\"cat\":\"sched\",\"name\":\"solve\",\"start_us\":4000001,\"end_us\":4000002,\"args\":{}}
+{\"type\":\"span\",\"id\":2,\"parent\":0,\"cat\":\"sched\",\"name\":\"decode\",\"start_us\":4000003,\"end_us\":4000004,\"args\":{}}
+{\"type\":\"counter\",\"name\":\"sim.launches\",\"value\":2}
+{\"type\":\"hist\",\"domain\":\"sim\",\"name\":\"sched.batch_size\",\"count\":2,\"sum\":6,\"min\":2,\"max\":4,\"mean\":3,\"p50\":4,\"p95\":4,\"p99\":4,\"cdf\":[[2.1810154653305154,0.5],[4,1]]}
+";
+    assert_eq!(fixed_scenario().to_jsonl(false), expected);
+}
+
+#[test]
+fn chrome_trace_golden() {
+    let expected = "\
+{\"traceEvents\":[
+{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"tetrisched\"}},
+{\"name\":\"cycle\",\"cat\":\"sim\",\"ph\":\"X\",\"ts\":4000000,\"dur\":5,\"pid\":1,\"tid\":1,\"args\":{\"cycle\":1}},
+{\"name\":\"solve\",\"cat\":\"sched\",\"ph\":\"X\",\"ts\":4000001,\"dur\":1,\"pid\":1,\"tid\":1,\"args\":{}},
+{\"name\":\"decode\",\"cat\":\"sched\",\"ph\":\"X\",\"ts\":4000003,\"dur\":1,\"pid\":1,\"tid\":1,\"args\":{}}
+],\"displayTimeUnit\":\"ms\"}
+";
+    assert_eq!(fixed_scenario().to_chrome_trace(), expected);
+}
+
+#[test]
+fn prometheus_golden() {
+    let expected = "\
+# TYPE tetrisched_spans_recorded counter
+tetrisched_spans_recorded 3
+# TYPE tetrisched_spans_dropped counter
+tetrisched_spans_dropped 0
+# TYPE tetrisched_sim_launches counter
+tetrisched_sim_launches 2
+# TYPE tetrisched_sched_batch_size summary
+tetrisched_sched_batch_size{quantile=\"0.5\"} 4
+tetrisched_sched_batch_size{quantile=\"0.95\"} 4
+tetrisched_sched_batch_size{quantile=\"0.99\"} 4
+tetrisched_sched_batch_size_sum 6
+tetrisched_sched_batch_size_count 2
+";
+    assert_eq!(fixed_scenario().to_prometheus(false), expected);
+}

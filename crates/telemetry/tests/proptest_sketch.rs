@@ -1,0 +1,80 @@
+//! Property test: histogram-sketch quantiles stay within one log bucket
+//! of the exact nearest-rank quantile computed the way
+//! `LatencyStats::quantile` does (clone, sort, nearest rank).
+
+use proptest::prelude::*;
+use tetrisched_telemetry::{HistogramSketch, BUCKETS_PER_DOUBLING};
+
+/// Exact nearest-rank quantile, mirroring `LatencyStats::quantile`.
+fn exact_quantile(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+/// Log-bucket index of a positive value, matching the sketch's grid.
+fn bucket_of(v: f64) -> i64 {
+    (v.log2() * BUCKETS_PER_DOUBLING).floor() as i64
+}
+
+proptest! {
+    #[test]
+    fn sketch_quantile_within_one_bucket(
+        samples in prop::collection::vec(1e-6f64..1e9, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let mut sketch = HistogramSketch::new();
+        for &v in &samples {
+            sketch.observe(v);
+        }
+        prop_assert_eq!(sketch.count(), samples.len() as u64);
+
+        let exact = exact_quantile(&samples, q);
+        let approx = sketch.quantile(q);
+        prop_assert!(approx > 0.0, "approx {} for exact {}", approx, exact);
+        // Same nearest-rank convention on both sides, so the chosen sample
+        // and the returned representative share a bucket (or a neighbour,
+        // once min/max clamping is involved).
+        let delta = (bucket_of(approx) - bucket_of(exact)).abs();
+        prop_assert!(
+            delta <= 1,
+            "q={} exact={} (bucket {}) approx={} (bucket {})",
+            q, exact, bucket_of(exact), approx, bucket_of(approx)
+        );
+        // One bucket is a factor of 2^(1/4); allow sqrt(2) end to end.
+        let ratio = approx / exact;
+        prop_assert!(
+            (0.70..=1.42).contains(&ratio),
+            "ratio {} out of one-bucket range", ratio
+        );
+    }
+
+    #[test]
+    fn sketch_summary_matches_exact_moments(
+        samples in prop::collection::vec(1e-3f64..1e6, 1..200),
+    ) {
+        let mut sketch = HistogramSketch::new();
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in &samples {
+            sketch.observe(v);
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        prop_assert!((sketch.sum() - sum).abs() <= 1e-9 * sum.abs().max(1.0));
+        prop_assert_eq!(sketch.min(), min);
+        prop_assert_eq!(sketch.max(), max);
+        // CDF is monotone in both coordinates and ends at 1.
+        let cdf = sketch.cdf();
+        prop_assert!(!cdf.is_empty());
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+        let last = cdf[cdf.len() - 1];
+        prop_assert!((last.1 - 1.0).abs() < 1e-12);
+    }
+}

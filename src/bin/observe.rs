@@ -1,0 +1,301 @@
+//! `observe`: telemetry-enabled run with exportable cycle forensics.
+//!
+//! Runs a deterministic Gridmix workload under the full TetriSched stack
+//! with spans, counters, histograms, and the event trace all enabled, then
+//!
+//! 1. writes the three telemetry exports (JSONL event log, Chrome
+//!    `trace_event` file for `chrome://tracing`/Perfetto, Prometheus-style
+//!    text snapshot) under `target/observe/`, and
+//! 2. prints a per-cycle forensics report: the phase-latency table, the
+//!    top-k slowest cycles with their span trees, and counter deltas
+//!    between degraded (greedy-fallback) and healthy cycles.
+//!
+//! ```text
+//! cargo run --release --bin observe [-- --check]
+//! ```
+//!
+//! With `--check` (the CI mode) the workload is run twice and the run
+//! fails unless ≥50 cycles were covered, every pipeline phase recorded at
+//! least one span, no exporter errored, and all three exports are
+//! byte-identical across the two same-seed runs.
+//!
+//! Exit codes: `0` ok, `1` a `--check` assertion or exporter write failed.
+
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+use tetrisched::cluster::Cluster;
+use tetrisched::core::{TetriSched, TetriSchedConfig};
+use tetrisched::sim::{
+    SimConfig, SimReport, Simulator, SpanRecord, TelemetryConfig, TelemetrySnapshot,
+};
+use tetrisched::workloads::{GridmixConfig, Workload, WorkloadBuilder};
+
+/// Workload seed; fixed so two runs are byte-comparable.
+const SEED: u64 = 7;
+
+/// Minimum scheduling cycles `--check` must cover.
+const MIN_CYCLES: usize = 50;
+
+/// How many of the slowest cycles get a span tree in the report.
+const TOP_K: usize = 3;
+
+/// Pipeline phases `--check` requires at least one span for. `greedy`
+/// is absent: it only runs on degraded cycles.
+const REQUIRED_PHASES: [&str; 7] = [
+    "collect", "strl_gen", "lint", "compile", "solve", "certify", "decode",
+];
+
+fn run_once() -> SimReport {
+    let cluster = Cluster::uniform(4, 6, 2);
+    let jobs = WorkloadBuilder::new(GridmixConfig {
+        seed: SEED,
+        num_jobs: 48,
+        cluster_size: cluster.num_nodes(),
+        ..GridmixConfig::default()
+    })
+    .generate(Workload::GsMix);
+    // A generous solver budget that no solve actually reaches: the MILP
+    // time limit is a *wall-clock* cutoff (L001-allowlisted), so a solve
+    // that hits it explores a run-dependent number of nodes and the
+    // byte-identity of the exports would be lost. The modest plan-ahead
+    // keeps every exact solve comfortably under the budget.
+    let config = TetriSchedConfig {
+        lint_models: true,
+        certify_solves: true,
+        solver_time_limit: std::time::Duration::from_secs(120),
+        ..TetriSchedConfig::full(8)
+    };
+    Simulator::new(
+        cluster,
+        TetriSched::new(config),
+        SimConfig {
+            horizon: Some(4000),
+            trace: true,
+            telemetry: TelemetryConfig::on(),
+            ..SimConfig::default()
+        },
+    )
+    .run(jobs)
+}
+
+/// The three exports of one run, as bytes.
+struct Exports {
+    jsonl: String,
+    chrome: String,
+    prom: String,
+}
+
+fn export(report: &SimReport) -> Exports {
+    Exports {
+        // Wall-domain values vary run to run; exports stay sim-only so
+        // they are byte-identical across same-seed runs.
+        jsonl: report.telemetry.to_jsonl(false),
+        chrome: report.telemetry.to_chrome_trace(),
+        prom: report.telemetry.to_prometheus(false),
+    }
+}
+
+fn write_exports(dir: &Path, e: &Exports) -> Result<(), std::io::Error> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join("trace.jsonl"), &e.jsonl)?;
+    fs::write(dir.join("chrome_trace.json"), &e.chrome)?;
+    fs::write(dir.join("metrics.prom"), &e.prom)?;
+    Ok(())
+}
+
+/// Spans grouped by name, for phase coverage and the phase table.
+fn span_counts(snap: &TelemetrySnapshot) -> Vec<(&str, usize)> {
+    let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for s in &snap.spans {
+        *counts.entry(s.name).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+fn print_phase_table(report: &SimReport) {
+    println!("-- phase latency (wall, ms) --");
+    println!(
+        "{:<12}{:>8}{:>10}{:>10}{:>10}{:>10}",
+        "phase", "count", "mean", "p50", "p95", "p99"
+    );
+    for phase in [
+        "collect", "strl_gen", "lint", "compile", "solve", "certify", "decode", "greedy",
+    ] {
+        let mut name = String::from("phase.");
+        name.push_str(phase);
+        name.push_str("_secs");
+        let Some(h) = report.telemetry.wall_hist(&name) else {
+            continue;
+        };
+        println!(
+            "{:<12}{:>8}{:>10.3}{:>10.3}{:>10.3}{:>10.3}",
+            phase,
+            h.count(),
+            h.mean() * 1e3,
+            h.quantile(0.5) * 1e3,
+            h.quantile(0.95) * 1e3,
+            h.quantile(0.99) * 1e3,
+        );
+    }
+}
+
+/// Value of a span's integer annotation, if present.
+fn span_arg(s: &SpanRecord, key: &str) -> Option<u64> {
+    s.args.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+}
+
+/// Prints `span` and its subtree, indented; children are found by parent
+/// links (span ids are recording-ordered, so one forward scan suffices).
+fn print_span_tree(snap: &TelemetrySnapshot, span: &SpanRecord, depth: usize) {
+    let args: Vec<String> = span.args.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    println!(
+        "{:indent$}{}/{} [{} us] {}",
+        "",
+        span.cat,
+        span.name,
+        span.end_us.saturating_sub(span.start_us),
+        args.join(" "),
+        indent = depth * 2
+    );
+    for child in &snap.spans {
+        if child.parent == Some(span.id) {
+            print_span_tree(snap, child, depth + 1);
+        }
+    }
+}
+
+fn print_slowest_cycles(report: &SimReport, snap: &TelemetrySnapshot) {
+    // Cycle ordinal -> wall seconds, slowest first.
+    let samples = report.metrics.cycle_latency.samples();
+    let mut ranked: Vec<(usize, f64)> = samples.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    println!("-- top {TOP_K} slowest cycles (wall) --");
+    for &(ordinal, secs) in ranked.iter().take(TOP_K) {
+        println!("cycle {ordinal}: {:.3} ms", secs * 1e3);
+        let cycle_span = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "cycle" && span_arg(s, "cycle") == Some(ordinal as u64));
+        match cycle_span {
+            Some(s) => print_span_tree(snap, s, 1),
+            None => println!("  (span dropped: capacity reached)"),
+        }
+    }
+}
+
+/// Counter deltas between degraded (greedy-fallback) and healthy cycles,
+/// accumulated from the per-cycle span annotations.
+fn print_degraded_deltas(snap: &TelemetrySnapshot) {
+    let mut healthy = (0u64, 0u64, 0u64, 0u64); // cycles, launches, errors, preemptions
+    let mut degraded = (0u64, 0u64, 0u64, 0u64);
+    for s in &snap.spans {
+        if s.name != "cycle" {
+            continue;
+        }
+        let bucket = if span_arg(s, "degraded") == Some(1) {
+            &mut degraded
+        } else {
+            &mut healthy
+        };
+        bucket.0 += 1;
+        bucket.1 += span_arg(s, "launches").unwrap_or(0);
+        bucket.2 += span_arg(s, "errors").unwrap_or(0);
+        bucket.3 += span_arg(s, "preemptions").unwrap_or(0);
+    }
+    println!("-- degraded vs healthy cycles --");
+    println!(
+        "{:<10}{:>8}{:>10}{:>8}{:>13}",
+        "mode", "cycles", "launches", "errors", "preemptions"
+    );
+    for (mode, t) in [("healthy", healthy), ("degraded", degraded)] {
+        println!("{:<10}{:>8}{:>10}{:>8}{:>13}", mode, t.0, t.1, t.2, t.3);
+    }
+}
+
+/// `--check` assertions; returns the failure messages.
+fn check(
+    report: &SimReport,
+    snap: &TelemetrySnapshot,
+    first: &Exports,
+    second: &Exports,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let cycles = report.metrics.cycle_latency.count();
+    if cycles < MIN_CYCLES {
+        failures.push(format!(
+            "coverage shortfall: {cycles} cycles < {MIN_CYCLES}"
+        ));
+    }
+    let counts = span_counts(snap);
+    for phase in REQUIRED_PHASES {
+        let n = counts
+            .iter()
+            .find(|(name, _)| *name == phase)
+            .map_or(0, |&(_, n)| n);
+        if n == 0 {
+            failures.push(format!("phase `{phase}` recorded zero spans"));
+        }
+    }
+    if snap.spans_dropped > 0 {
+        failures.push(format!("{} spans dropped (capacity)", snap.spans_dropped));
+    }
+    for (what, a, b) in [
+        ("jsonl", &first.jsonl, &second.jsonl),
+        ("chrome", &first.chrome, &second.chrome),
+        ("prometheus", &first.prom, &second.prom),
+    ] {
+        if a != b {
+            failures.push(format!("{what} export differs between same-seed runs"));
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let check_mode = std::env::args().any(|a| a == "--check");
+    let report = run_once();
+    let snap = report.telemetry.snapshot();
+    let exports = export(&report);
+
+    let out_dir = Path::new("target/observe");
+    if let Err(e) = write_exports(out_dir, &exports) {
+        eprintln!("observe: exporter error: {e}");
+        return ExitCode::from(1);
+    }
+    println!(
+        "observe: {} cycles, {} spans ({} dropped), {} trace events ({} dropped)",
+        report.metrics.cycle_latency.count(),
+        snap.spans.len(),
+        snap.spans_dropped,
+        report.trace.recorded(),
+        report.trace.dropped(),
+    );
+    println!(
+        "observe: wrote trace.jsonl, chrome_trace.json, metrics.prom under {}",
+        out_dir.display()
+    );
+    println!();
+    print_phase_table(&report);
+    println!();
+    print_slowest_cycles(&report, &snap);
+    println!();
+    print_degraded_deltas(&snap);
+
+    if !check_mode {
+        return ExitCode::SUCCESS;
+    }
+    // Second same-seed run: the sim-domain exports must be byte-identical.
+    let second = export(&run_once());
+    let failures = check(&report, &snap, &exports, &second);
+    if failures.is_empty() {
+        println!("\nobserve --check: OK");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("observe --check: FAIL: {f}");
+        }
+        ExitCode::from(1)
+    }
+}
