@@ -1,0 +1,156 @@
+//! Service-core performance baseline (`BENCH_6.json`).
+//!
+//! Three headline numbers, measured on the vendored criterion stub:
+//!
+//! - **cycles/sec** — closed-loop simulated scheduler cycles completed per
+//!   wall second (whole-engine throughput including STRL generation,
+//!   compile, solve, and decode);
+//! - **p99 solve latency (ms)** — tail wall-clock MILP solve time within
+//!   that run (the paper's Fig. 12(a) axis);
+//! - **intake throughput (jobs/sec)** — arrivals the sharded service core
+//!   can ingest and drain per wall second, isolated from the scheduler.
+//!
+//! The harness writes `BENCH_6.json` at the workspace root so the perf
+//! trajectory has a committed baseline to diff against. Absolute numbers
+//! are machine-dependent; the file records shape and order of magnitude.
+
+use criterion::{BenchResult, Criterion};
+use std::hint::black_box;
+use tetrisched_bench::{run_spec, RunSpec, SchedulerKind};
+use tetrisched_cluster::Cluster;
+use tetrisched_core::TetriSchedConfig;
+use tetrisched_service::{
+    AdmissionPolicy, FairShareConfig, ServiceConfig, ServiceCore, ServiceJob,
+};
+use tetrisched_sim::{FaultPlan, RetryPolicy, SimReport};
+use tetrisched_workloads::Workload;
+
+#[derive(Debug, Clone, Copy)]
+struct BenchJob(u64);
+
+impl ServiceJob for BenchJob {
+    fn service_id(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The smoke-sized closed-loop run timed for cycles/sec: same shape as the
+/// e2e equivalence corpus so the number tracks the code path users of the
+/// engine actually exercise.
+fn cycle_spec() -> RunSpec {
+    RunSpec {
+        workload: Workload::GsMix,
+        cluster: Cluster::uniform(2, 8, 1),
+        num_jobs: 24,
+        seed: 3,
+        estimate_error: 0.0,
+        kind: SchedulerKind::Tetri(TetriSchedConfig::full(16)),
+        cycle_period: 4,
+        utilization: 1.0,
+        slowdown: 1.5,
+        faults: FaultPlan::none(),
+        retry: RetryPolicy::default(),
+    }
+}
+
+/// Jobs pushed through the service core per intake-bench iteration.
+const INTAKE_JOBS: u64 = 10_000;
+
+fn bench_cycles(c: &mut Criterion) -> SimReport {
+    let spec = cycle_spec();
+    let mut g = c.benchmark_group("service_core");
+    g.sample_size(5);
+    g.bench_function("closed_loop_run", |b| b.iter(|| black_box(run_spec(&spec))));
+    g.finish();
+    // One more deterministic run outside the timer for the cycle count and
+    // the solve-latency distribution.
+    run_spec(&spec)
+}
+
+fn bench_intake(c: &mut Criterion) {
+    let service = ServiceConfig::open(
+        4,
+        256,
+        AdmissionPolicy {
+            max_admissions_per_cycle: 64,
+            max_scheduler_backlog: usize::MAX,
+            shed_queue_depth: usize::MAX,
+        },
+        FairShareConfig::disabled(),
+    );
+    let mut g = c.benchmark_group("service_core");
+    g.sample_size(10);
+    g.bench_function("intake_10k", |b| {
+        b.iter(|| {
+            let mut core: ServiceCore<BenchJob> = ServiceCore::new(service.clone());
+            let mut drained = 0u64;
+            for id in 0..INTAKE_JOBS {
+                black_box(core.ingest(BenchJob(id)));
+                // Drain in admission-sized batches as the engine would.
+                if id % 64 == 63 {
+                    drained += core.drain_cycle(0).admitted.len() as u64;
+                }
+            }
+            while core.backlog() > 0 {
+                drained += core.drain_cycle(0).admitted.len() as u64;
+            }
+            core.validate().expect("bench accounting");
+            black_box(drained)
+        })
+    });
+    g.finish();
+}
+
+fn mean_secs(results: &[BenchResult], id: &str) -> f64 {
+    results
+        .iter()
+        .find(|r| r.id == id)
+        .map(|r| r.mean.as_secs_f64())
+        .expect("benchmark did not record a result")
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    let report = bench_cycles(&mut c);
+    bench_intake(&mut c);
+
+    let cycles = report.metrics.cycle_latency.count() as f64;
+    let run_secs = mean_secs(c.results(), "closed_loop_run");
+    let cycles_per_sec = cycles / run_secs;
+    let p99_solve_ms = report.metrics.solver_latency.quantile(0.99) * 1000.0;
+    let intake_secs = mean_secs(c.results(), "intake_10k");
+    let intake_throughput = INTAKE_JOBS as f64 / intake_secs;
+
+    let mut samples = String::new();
+    for r in c.results() {
+        if !samples.is_empty() {
+            samples.push_str(",\n");
+        }
+        samples.push_str(&format!(
+            "    {{\"group\": \"{}\", \"id\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}}}",
+            r.group,
+            r.id,
+            r.mean.as_nanos(),
+            r.min.as_nanos()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"BENCH_6\",\n  \"schema\": 1,\n  \
+         \"cycles_per_sec\": {cycles_per_sec:.2},\n  \
+         \"p99_solve_latency_ms\": {p99_solve_ms:.3},\n  \
+         \"intake_throughput_jobs_per_sec\": {intake_throughput:.0},\n  \
+         \"cycles_timed\": {cycles},\n  \
+         \"samples\": [\n{samples}\n  ]\n}}\n"
+    );
+
+    // CARGO_MANIFEST_DIR is crates/bench; the baseline lives at the
+    // workspace root.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/bench");
+    let out = root.join("BENCH_6.json");
+    std::fs::write(&out, &json).expect("write BENCH_6.json");
+    println!("wrote {}", out.display());
+    print!("{json}");
+}

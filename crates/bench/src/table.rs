@@ -59,6 +59,12 @@ pub struct MetricsRow {
     /// 99th-percentile MILP solve phase wall time, milliseconds, from the
     /// telemetry wall histograms (zero when telemetry was disabled).
     pub phase_solve_ms_p99: f64,
+    /// Jobs the service core admitted to the scheduler.
+    pub jobs_admitted: u64,
+    /// Jobs the service core shed (overflow or depth bound).
+    pub jobs_shed: u64,
+    /// Cumulative job-cycles arrivals spent deferred on intake shards.
+    pub jobs_deferred: u64,
 }
 
 impl MetricsRow {
@@ -95,6 +101,9 @@ impl MetricsRow {
                 .telemetry
                 .wall_hist("phase.solve_secs")
                 .map_or(0.0, |h| h.quantile(0.99) * 1e3),
+            jobs_admitted: m.jobs_admitted,
+            jobs_shed: m.jobs_shed,
+            jobs_deferred: m.jobs_deferred,
         }
     }
 }
@@ -149,6 +158,9 @@ impl MetricsRow {
             trace_events_dropped: rows.iter().map(|r| r.trace_events_dropped).sum::<u64>()
                 / rows.len() as u64,
             phase_solve_ms_p99: avg(|r| r.phase_solve_ms_p99),
+            jobs_admitted: rows.iter().map(|r| r.jobs_admitted).sum::<u64>() / rows.len() as u64,
+            jobs_shed: rows.iter().map(|r| r.jobs_shed).sum::<u64>() / rows.len() as u64,
+            jobs_deferred: rows.iter().map(|r| r.jobs_deferred).sum::<u64>() / rows.len() as u64,
         }
     }
 }
@@ -230,6 +242,17 @@ pub fn robustness_panels() -> Vec<Panel> {
     ]
 }
 
+/// Service-core panels: admission/backpressure accounting for open-loop
+/// service-mode experiments (beyond the paper's closed-loop evaluation).
+pub fn service_panels() -> Vec<Panel> {
+    vec![
+        ("jobs admitted", |r| r.jobs_admitted as f64),
+        ("jobs shed", |r| r.jobs_shed as f64),
+        ("deferred job-cycles", |r| r.jobs_deferred as f64),
+        ("SLO attainment, all SLO jobs (%)", |r| r.total_slo),
+    ]
+}
+
 /// Telemetry forensics panels: solver-internals and instrumentation-health
 /// counters surfaced by the tracing layer (beyond the paper's figures).
 pub fn telemetry_panels() -> Vec<Panel> {
@@ -273,6 +296,9 @@ mod tests {
             presolve_reductions: 0,
             trace_events_dropped: 0,
             phase_solve_ms_p99: 0.0,
+            jobs_admitted: 0,
+            jobs_shed: 0,
+            jobs_deferred: 0,
         }
     }
 

@@ -215,7 +215,10 @@ impl<'a> StrlGenerator<'a> {
                     return None; // Deadline cull (Sec. 3.2.1).
                 }
                 let quanta = ((completion - now) / quantum) as f64;
-                Some(value * (1.0 - self.config.defer_tiebreak * quanta).max(0.1))
+                // Fair-share tenancy weight (service mode). Exactly 1.0
+                // outside service mode, so the objective is unchanged:
+                // `x * 1.0 == x` in IEEE arithmetic.
+                Some(job.weight * value * (1.0 - self.config.defer_tiebreak * quanta).max(0.1))
             };
             // The `min`-encoded anti-affine option, when applicable.
             if let Some(legs) = &spread_legs {
@@ -264,7 +267,7 @@ impl<'a> StrlGenerator<'a> {
                 if let Some(opt) = opt {
                     let dur = spec.estimated_runtime_for(opt.preferred);
                     if now + dur.div_ceil(2) <= deadline {
-                        let value = (self.config.be_value_floor * 2.0).max(0.02);
+                        let value = job.weight * (self.config.be_value_floor * 2.0).max(0.02);
                         children.push(StrlExpr::nck(opt.set.clone(), spec.k, now, dur, value));
                         tags.push(LeafTag {
                             job: spec.id,
@@ -352,6 +355,7 @@ mod tests {
             class,
             reservation: None,
             preemptions: 0,
+            weight: 1.0,
         }
     }
 

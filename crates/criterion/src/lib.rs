@@ -68,11 +68,25 @@ impl Bencher {
     }
 }
 
+/// One finished measurement, kept for programmatic consumers (e.g.
+/// benchmark bins that export JSON baselines).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Mean per-iteration time across samples.
+    pub mean: Duration,
+    /// Minimum per-iteration time across samples.
+    pub min: Duration,
+}
+
 /// A named group of related benchmarks.
 pub struct BenchmarkGroup<'c> {
     name: String,
     sample_size: usize,
-    _criterion: &'c mut Criterion,
+    criterion: &'c mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -92,7 +106,7 @@ impl BenchmarkGroup<'_> {
             last: None,
         };
         f(&mut b);
-        report(&self.name, &id.to_string(), b.last);
+        self.record(&id.to_string(), b.last);
         self
     }
 
@@ -111,8 +125,20 @@ impl BenchmarkGroup<'_> {
             last: None,
         };
         f(&mut b, input);
-        report(&self.name, &id.to_string(), b.last);
+        self.record(&id.to_string(), b.last);
         self
+    }
+
+    fn record(&mut self, id: &str, last: Option<(Duration, Duration)>) {
+        report(&self.name, id, last);
+        if let Some((mean, min)) = last {
+            self.criterion.results.push(BenchResult {
+                group: self.name.clone(),
+                id: id.to_string(),
+                mean,
+                min,
+            });
+        }
     }
 
     /// Ends the group (upstream flushes reports here; the stub reports
@@ -131,7 +157,9 @@ fn report(group: &str, id: &str, last: Option<(Duration, Duration)>) {
 
 /// Benchmark driver.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
 
 impl Criterion {
     /// Opens a named benchmark group.
@@ -139,8 +167,13 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: 10,
-            _criterion: self,
+            criterion: self,
         }
+    }
+
+    /// All measurements recorded so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 
     /// Runs a single ungrouped benchmark.
@@ -192,6 +225,18 @@ mod tests {
     fn harness_runs() {
         let mut c = Criterion::default();
         bench_square(&mut c);
+    }
+
+    #[test]
+    fn results_are_recorded() {
+        let mut c = Criterion::default();
+        bench_square(&mut c);
+        let results = c.results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].group, "math");
+        assert_eq!(results[0].id, "square");
+        assert!(results[0].mean >= results[0].min);
+        assert_eq!(results[1].id, "5");
     }
 
     #[test]

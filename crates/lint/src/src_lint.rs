@@ -1,4 +1,4 @@
-//! Workspace invariant linting over source files (codes `L001`–`L004`).
+//! Workspace invariant linting over source files (codes `L001`–`L006`).
 //!
 //! The simulator's reproducibility and the offline build both rest on
 //! conventions that rustc cannot enforce. This pass walks the workspace's
@@ -25,6 +25,12 @@
 //!   durations callers measured under their own `L001` allowlist entry).
 //!   Unlike `L001` this rule has no allowlist, so the exporters stay
 //!   byte-identical across same-seed runs by construction.
+//! - `L006` — no threading/channel primitives (`std::thread`, `std::sync`,
+//!   `mpsc`, `Mutex`, `RwLock`, `Condvar`) and no clock access (`std::time`
+//!   in any form) inside `crates/service`: the service core is
+//!   single-threaded and driven by the engine's virtual clock, which is
+//!   what makes same-seed service-mode runs byte-identical. Like `L005`
+//!   this rule has no allowlist.
 //!
 //! Test modules (`#[cfg(test)]` and beyond), `tests/`/`benches/` trees, and
 //! comment lines are exempt from the `.rs` rules. The scan is line-based
@@ -56,10 +62,11 @@ const WALL_CLOCK_ALLOWLIST: [&str; 6] = [
 ];
 
 /// Crate subtrees whose non-test code must not call `unwrap()`.
-const NO_UNWRAP_PREFIXES: [&str; 4] = [
+const NO_UNWRAP_PREFIXES: [&str; 5] = [
     "crates/cluster/src/",
     "crates/core/src/",
     "crates/milp/src/",
+    "crates/service/src/",
     "crates/sim/src/",
 ];
 
@@ -92,6 +99,23 @@ const CLOCK_INJECTED_PREFIXES: [&str; 1] = ["crates/telemetry/src/"];
 /// Any `std::time` mention (broader than the `L001` needles: also catches
 /// imports and `Duration`-producing clock plumbing).
 const STD_TIME_PATTERN: &str = concat!("std::", "time");
+
+/// Crate subtrees that must stay single-threaded, channel-free, and
+/// clock-free: the service core is driven entirely by the engine's
+/// virtual clock, so any thread, synchronization primitive, or clock
+/// read would introduce scheduling nondeterminism. Deliberately no
+/// allowlist.
+const SINGLE_THREADED_PREFIXES: [&str; 1] = ["crates/service/src/"];
+
+/// Threading/channel/synchronization needles for `L006`.
+const THREADING_PATTERNS: [&str; 6] = [
+    concat!("std::", "thread"),
+    concat!("std::", "sync"),
+    concat!("mp", "sc"),
+    concat!("Mu", "tex"),
+    concat!("Rw", "Lock"),
+    concat!("Cond", "var"),
+];
 
 /// Result of a workspace scan.
 #[derive(Debug, Default)]
@@ -156,6 +180,7 @@ fn lint_rust_file(rel: &str, path: &Path, report: &mut SrcLintReport) -> io::Res
         .any(|p| rel.starts_with(p))
         && !HASH_COLLECTION_ALLOWLIST.contains(&rel);
     let clock_injected = CLOCK_INJECTED_PREFIXES.iter().any(|p| rel.starts_with(p));
+    let single_threaded = SINGLE_THREADED_PREFIXES.iter().any(|p| rel.starts_with(p));
     for (i, line) in text.lines().enumerate() {
         // Everything from the first test-module marker on is test code.
         if line.contains(CFG_TEST_PATTERN) {
@@ -203,6 +228,38 @@ fn lint_rust_file(rel: &str, path: &Path, report: &mut SrcLintReport) -> io::Res
                             "process-clock access (`{pat}`) inside the telemetry crate: \
                              time must be injected by callers (`advance` / \
                              `observe_wall`) so exports stay byte-identical"
+                        ),
+                        format!("{rel}:{lineno}"),
+                    ));
+                }
+            }
+        }
+        if single_threaded {
+            for pat in THREADING_PATTERNS {
+                if trimmed.contains(pat) {
+                    report.diagnostics.push(Diagnostic::new(
+                        "L006",
+                        Severity::Error,
+                        format!(
+                            "threading/synchronization primitive (`{pat}`) inside the \
+                             service crate: the service core is single-threaded and \
+                             caller-driven so same-seed runs stay byte-identical"
+                        ),
+                        format!("{rel}:{lineno}"),
+                    ));
+                }
+            }
+            for pat in WALL_CLOCK_PATTERNS
+                .iter()
+                .chain(std::iter::once(&STD_TIME_PATTERN))
+            {
+                if trimmed.contains(pat) {
+                    report.diagnostics.push(Diagnostic::new(
+                        "L006",
+                        Severity::Error,
+                        format!(
+                            "clock access (`{pat}`) inside the service crate: time is \
+                             the engine's virtual clock, injected by the caller"
                         ),
                         format!("{rel}:{lineno}"),
                     ));
@@ -374,6 +431,54 @@ mod tests {
         assert!(
             l005.len() >= 2,
             "expected L005 on both the import and the call, got {:?}",
+            report.diagnostics
+        );
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn l006_flags_threads_channels_and_clocks_in_service_sources() {
+        let dir = std::env::temp_dir().join(format!("srclint-l006-{}", std::process::id()));
+        let src = dir.join("crates/service/src");
+        fs::create_dir_all(&src).expect("temp tree");
+        fs::write(
+            src.join("lib.rs"),
+            "use std::sync::mpsc;\n\
+             use std::thread;\n\
+             use std::sync::Mutex;\n\
+             use std::time::Instant;\n\
+             fn now() -> Instant { Instant::now() }\n",
+        )
+        .expect("write fixture");
+        let report = lint_workspace(&dir).expect("scan");
+        let l006: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "L006")
+            .collect();
+        assert!(
+            l006.len() >= 5,
+            "expected L006 on channels, threads, locks, and clocks, got {:?}",
+            report.diagnostics
+        );
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn l002_covers_the_service_crate() {
+        assert!(NO_UNWRAP_PREFIXES.contains(&"crates/service/src/"));
+        let dir = std::env::temp_dir().join(format!("srclint-l002-svc-{}", std::process::id()));
+        let src = dir.join("crates/service/src");
+        fs::create_dir_all(&src).expect("temp tree");
+        fs::write(
+            src.join("lib.rs"),
+            concat!("fn f(x: Option<u32>) -> u32 { x", ".unwrap", "() }\n"),
+        )
+        .expect("write fixture");
+        let report = lint_workspace(&dir).expect("scan");
+        assert!(
+            report.diagnostics.iter().any(|d| d.code == "L002"),
+            "expected L002 in the service crate, got {:?}",
             report.diagnostics
         );
         fs::remove_dir_all(&dir).expect("cleanup");

@@ -1,0 +1,139 @@
+//! The admission layer: per-cycle batching, backpressure, load shedding.
+//!
+//! Every scheduler cycle the admission layer drains a bounded batch of
+//! queued arrivals out of the intake shards and decides each job's fate:
+//!
+//! - **Admit** — hand the job to the scheduler's pending queue now.
+//! - **Defer** — leave it queued for a later cycle (backpressure: the
+//!   scheduler's pending queue is already at its depth target, or this
+//!   cycle's admission budget is spent).
+//! - **Shed** — reject it permanently (load shedding: the intake backlog
+//!   exceeds the shed threshold, so the oldest excess is dropped rather
+//!   than allowed to grow without bound).
+//!
+//! The policy is pure arithmetic over queue depths — no clocks, no
+//! randomness — so admission decisions replay identically under the same
+//! seed.
+
+/// The typed fate of one arrival at admission time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Enter the scheduler's pending queue this cycle.
+    Admit,
+    /// Stay queued in the intake shards for a later cycle.
+    Defer,
+    /// Rejected permanently to protect the service under overload.
+    Shed,
+}
+
+/// Backpressure and shedding thresholds.
+#[derive(Debug, Clone)]
+pub struct AdmissionPolicy {
+    /// Maximum jobs admitted per cycle (admission batching).
+    pub max_admissions_per_cycle: usize,
+    /// Scheduler pending-queue depth target: when the pending queue holds
+    /// at least this many jobs, admission stops and arrivals defer.
+    pub max_scheduler_backlog: usize,
+    /// Intake backlog bound: after admission, queued jobs beyond this
+    /// depth are shed oldest-first. `usize::MAX` disables shedding from
+    /// depth (mailbox overflow can still shed).
+    pub shed_queue_depth: usize,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            max_admissions_per_cycle: 32,
+            max_scheduler_backlog: 64,
+            shed_queue_depth: usize::MAX,
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// This cycle's admission budget given the scheduler's current pending
+    /// depth: the batching cap, shrunk so admitted jobs never push the
+    /// pending queue past its target depth.
+    pub fn budget(&self, scheduler_backlog: usize) -> usize {
+        let headroom = self.max_scheduler_backlog.saturating_sub(scheduler_backlog);
+        self.max_admissions_per_cycle.min(headroom)
+    }
+
+    /// How many queued jobs must be shed once admission has taken its
+    /// batch and `intake_backlog` jobs remain queued.
+    pub fn excess(&self, intake_backlog: usize) -> usize {
+        intake_backlog.saturating_sub(self.shed_queue_depth)
+    }
+
+    /// The decision for a job at position `index` (0-based) in this
+    /// cycle's drain order, given the scheduler backlog and the intake
+    /// backlog *before* draining.
+    pub fn decide(
+        &self,
+        index: usize,
+        scheduler_backlog: usize,
+        intake_backlog: usize,
+    ) -> AdmissionDecision {
+        let budget = self.budget(scheduler_backlog);
+        if index < budget {
+            AdmissionDecision::Admit
+        } else if index < budget + self.excess(intake_backlog.saturating_sub(budget)) {
+            AdmissionDecision::Shed
+        } else {
+            AdmissionDecision::Defer
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> AdmissionPolicy {
+        AdmissionPolicy {
+            max_admissions_per_cycle: 4,
+            max_scheduler_backlog: 10,
+            shed_queue_depth: 6,
+        }
+    }
+
+    #[test]
+    fn budget_caps_at_batch_size() {
+        assert_eq!(policy().budget(0), 4);
+        assert_eq!(policy().budget(5), 4);
+    }
+
+    #[test]
+    fn budget_shrinks_near_backlog_target() {
+        assert_eq!(policy().budget(8), 2);
+        assert_eq!(policy().budget(10), 0);
+        assert_eq!(policy().budget(99), 0);
+    }
+
+    #[test]
+    fn excess_sheds_beyond_depth_bound() {
+        assert_eq!(policy().excess(6), 0);
+        assert_eq!(policy().excess(9), 3);
+        let unbounded = AdmissionPolicy::default();
+        assert_eq!(unbounded.excess(1_000_000), 0);
+    }
+
+    #[test]
+    fn decide_partitions_admit_shed_defer() {
+        let p = policy();
+        // 12 queued, no scheduler backlog: budget 4, remaining 8, shed 2.
+        let decisions: Vec<_> = (0..12).map(|i| p.decide(i, 0, 12)).collect();
+        assert_eq!(&decisions[..4], &[AdmissionDecision::Admit; 4]);
+        assert_eq!(&decisions[4..6], &[AdmissionDecision::Shed; 2]);
+        assert_eq!(&decisions[6..], &[AdmissionDecision::Defer; 6]);
+    }
+
+    #[test]
+    fn full_backpressure_defers_everything_within_bound() {
+        let p = policy();
+        // Scheduler saturated, queue within the shed bound: all defer.
+        for i in 0..6 {
+            assert_eq!(p.decide(i, 10, 6), AdmissionDecision::Defer);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Bounded, deterministic actor mailboxes.
+//!
+//! The shape follows actor-runtime mailboxes (enqueue at the tail, drain
+//! from the head, reject past capacity) but is strictly single-threaded:
+//! no channels, no locks, no threads. "Delivery" happens when the owner
+//! drains the queue under the simulation's virtual clock, which is what
+//! keeps same-seed runs byte-identical.
+
+use std::collections::VecDeque;
+
+/// Outcome of offering a message to a bounded mailbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// The message was enqueued.
+    Enqueued,
+    /// The mailbox was full; the message was returned to the caller.
+    Overflow,
+}
+
+/// A bounded FIFO mailbox.
+#[derive(Debug, Clone)]
+pub struct Mailbox<T> {
+    capacity: usize,
+    queue: VecDeque<T>,
+    enqueued: u64,
+    overflows: u64,
+}
+
+impl<T> Mailbox<T> {
+    /// Creates a mailbox holding at most `capacity` messages (min 1).
+    pub fn bounded(capacity: usize) -> Self {
+        Mailbox {
+            capacity: capacity.max(1),
+            queue: VecDeque::new(),
+            enqueued: 0,
+            overflows: 0,
+        }
+    }
+
+    /// Offers a message; on overflow the message is handed back so the
+    /// caller decides its fate (shed, retry, redirect) — the mailbox never
+    /// silently drops.
+    pub fn offer(&mut self, msg: T) -> Result<Offer, T> {
+        if self.queue.len() >= self.capacity {
+            self.overflows += 1;
+            return Err(msg);
+        }
+        self.queue.push_back(msg);
+        self.enqueued += 1;
+        Ok(Offer::Enqueued)
+    }
+
+    /// Dequeues the oldest message.
+    pub fn pop(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the mailbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Messages ever enqueued successfully.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Offers rejected because the mailbox was full.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut m = Mailbox::bounded(4);
+        for i in 0..3 {
+            assert_eq!(m.offer(i), Ok(Offer::Enqueued));
+        }
+        assert_eq!(m.pop(), Some(0));
+        assert_eq!(m.pop(), Some(1));
+        assert_eq!(m.pop(), Some(2));
+        assert_eq!(m.pop(), None);
+    }
+
+    #[test]
+    fn overflow_returns_message_and_counts() {
+        let mut m = Mailbox::bounded(2);
+        assert!(m.offer(1).is_ok());
+        assert!(m.offer(2).is_ok());
+        assert_eq!(m.offer(3), Err(3));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.enqueued(), 2);
+        assert_eq!(m.overflows(), 1);
+        // Draining frees capacity again.
+        m.pop();
+        assert!(m.offer(3).is_ok());
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut m = Mailbox::bounded(0);
+        assert_eq!(m.capacity(), 1);
+        assert!(m.offer(9).is_ok());
+        assert!(m.offer(10).is_err());
+    }
+}

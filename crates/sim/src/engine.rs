@@ -8,6 +8,7 @@ use std::time::Instant;
 
 use tetrisched_cluster::{AllocHandle, Cluster, Ledger, NodeId, NodeSet};
 use tetrisched_reservation::{Reservation, ReservationSystem};
+use tetrisched_service::{Ingest, ServiceConfig, ServiceCore, ServiceMode};
 use tetrisched_strl::{Atom, JobClass, Window};
 
 use tetrisched_telemetry::{Telemetry, TelemetryConfig};
@@ -44,6 +45,12 @@ pub struct SimConfig {
     /// spans, counters, and histograms into `SimReport::telemetry` without
     /// changing any scheduling decision.
     pub telemetry: TelemetryConfig,
+    /// Service-core configuration. The default ([`ServiceConfig::closed_loop`])
+    /// is a pass-through that reproduces the pre-service engine
+    /// byte-for-byte; [`tetrisched_service::ServiceMode::Open`] enables
+    /// sharded intake, admission batching with backpressure/shedding, and
+    /// fair-share tenancy weights.
+    pub service: ServiceConfig,
 }
 
 impl Default for SimConfig {
@@ -57,6 +64,7 @@ impl Default for SimConfig {
             strict_accounting: false,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
             telemetry: TelemetryConfig::default(),
+            service: ServiceConfig::closed_loop(),
         }
     }
 }
@@ -141,6 +149,7 @@ impl<S: Scheduler> Simulator<S> {
 
         let mut records: HashMap<JobId, JobRecord> = HashMap::new();
         let mut pending_order: Vec<JobId> = Vec::new();
+        let mut service: ServiceCore<JobSpec> = ServiceCore::new(self.config.service.clone());
         let mut remaining = jobs.len();
         for spec in jobs {
             queue.push(spec.submit, EventKind::Submit { job: spec.id });
@@ -198,33 +207,34 @@ impl<S: Scheduler> Simulator<S> {
             match ev.kind {
                 EventKind::Submit { job } => {
                     let rec = records.get_mut(&job).expect("unknown job submitted");
-                    // Reservation admission: every SLO job asks Rayon for a
-                    // window [submit, deadline] sized by its *estimate*.
-                    if let Some(deadline) = rec.spec.deadline {
-                        let window = Window::new(
-                            rec.spec.submit,
-                            deadline,
-                            Atom::gang(rec.spec.k, rec.spec.estimated_runtime()),
-                        );
-                        match rs.request(&window, now) {
-                            Some(r) => {
-                                rec.class = JobClass::SloAccepted;
-                                rec.reservation = Some(r);
-                            }
-                            None => rec.class = JobClass::SloNoReservation,
+                    match service.ingest(rec.spec.clone()) {
+                        // Closed-loop pass-through: admit inline, exactly as
+                        // the pre-service engine did.
+                        Ingest::Admitted(_) => {
+                            let weight = service.fair_share().weight(job.0);
+                            admit_job(
+                                job,
+                                now,
+                                weight,
+                                rec,
+                                &mut rs,
+                                &mut pending_order,
+                                &mut trace,
+                                &mut self.scheduler,
+                            );
                         }
-                    } else {
-                        rec.class = JobClass::BestEffort;
+                        // Open-loop: queued on an intake shard; reservation
+                        // admission and classification happen when a later
+                        // admission cycle drains it.
+                        Ingest::Queued { .. } => {}
+                        // Open-loop: the target shard's mailbox overflowed.
+                        Ingest::Shed(_) => {
+                            rec.state = JobState::Terminal;
+                            rec.outcome = Some(JobOutcome::Shed { at: now });
+                            remaining -= 1;
+                            trace.record(TraceEvent::Shed { job, at: now });
+                        }
                     }
-                    rec.state = JobState::Pending;
-                    pending_order.push(job);
-                    trace.record(TraceEvent::Submitted {
-                        job,
-                        class: rec.class,
-                        at: now,
-                    });
-                    let view = pending_view(rec);
-                    self.scheduler.on_submit(&view, now);
                 }
                 EventKind::Complete { job, generation } => {
                     let rec = records.get_mut(&job).expect("unknown job completed");
@@ -339,6 +349,43 @@ impl<S: Scheduler> Simulator<S> {
                     }
                 }
                 EventKind::CycleTick => {
+                    // Admission cycle first (open mode only): drain a batch
+                    // of queued arrivals under backpressure, then shed the
+                    // excess past the queue-depth bound.
+                    if service.mode() == ServiceMode::Open {
+                        let backlog = records
+                            .values()
+                            .filter(|r| matches!(r.state, JobState::Pending))
+                            .count();
+                        let batch = service.drain_cycle(backlog);
+                        for spec in batch.admitted {
+                            let job = spec.id;
+                            let weight = service.fair_share().weight(job.0);
+                            let rec = records.get_mut(&job).expect("admitted unknown job");
+                            admit_job(
+                                job,
+                                now,
+                                weight,
+                                rec,
+                                &mut rs,
+                                &mut pending_order,
+                                &mut trace,
+                                &mut self.scheduler,
+                            );
+                        }
+                        for spec in batch.shed {
+                            let job = spec.id;
+                            let rec = records.get_mut(&job).expect("shed unknown job");
+                            rec.state = JobState::Terminal;
+                            rec.outcome = Some(JobOutcome::Shed { at: now });
+                            remaining -= 1;
+                            trace.record(TraceEvent::Shed { job, at: now });
+                        }
+                        telemetry.observe_sim("service.intake_backlog", batch.deferred as f64);
+                        if let Err(e) = service.validate() {
+                            panic!("at t={now}: {e}");
+                        }
+                    }
                     self.run_cycle(
                         now,
                         &mut records,
@@ -349,6 +396,7 @@ impl<S: Scheduler> Simulator<S> {
                         &mut trace,
                         &telemetry,
                         &mut remaining,
+                        &mut service,
                     );
                     if remaining > 0 {
                         queue.push(now + self.config.cycle_period, EventKind::CycleTick);
@@ -390,8 +438,12 @@ impl<S: Scheduler> Simulator<S> {
                 }
                 JobState::Terminal => {}
             }
-            // Class totals cover every job that entered the system.
-            if !matches!(rec.state, JobState::NotArrived) {
+            // Class totals cover every job that entered the system. Shed
+            // jobs never did: the service rejected them before admission,
+            // so they carry no class.
+            if !matches!(rec.state, JobState::NotArrived)
+                && !matches!(rec.outcome, Some(JobOutcome::Shed { .. }))
+            {
                 match rec.class {
                     JobClass::SloAccepted => metrics.accepted_slo_total += 1,
                     JobClass::SloNoReservation => metrics.nores_slo_total += 1,
@@ -408,6 +460,21 @@ impl<S: Scheduler> Simulator<S> {
         }
         metrics.trace_events_dropped = trace.dropped();
         telemetry.counter_add("sim.trace_events_dropped", trace.dropped());
+        // Service-core accounting: conserved (admitted + shed + backlog ==
+        // arrivals) by construction; surfaced in metrics and telemetry so
+        // open-loop overload behavior is observable.
+        let service_stats = service.stats();
+        metrics.jobs_admitted = service_stats.admitted;
+        metrics.jobs_shed = service_stats.shed;
+        metrics.jobs_deferred = service_stats.deferred;
+        metrics.intake_overflows = service_stats.mailbox_overflows;
+        telemetry.counter_add("service.jobs_admitted", service_stats.admitted);
+        telemetry.counter_add("service.jobs_shed", service_stats.shed);
+        telemetry.counter_add("service.jobs_deferred", service_stats.deferred);
+        telemetry.counter_add("service.intake_overflows", service_stats.mailbox_overflows);
+        if let Err(e) = service.validate() {
+            panic!("at end of run: {e}");
+        }
 
         SimReport {
             metrics,
@@ -433,6 +500,7 @@ impl<S: Scheduler> Simulator<S> {
         trace: &mut TraceLog,
         telemetry: &Telemetry,
         remaining: &mut usize,
+        service: &mut ServiceCore<JobSpec>,
     ) {
         // The cycle span wraps view building, the scheduler call (whose
         // phase spans nest under it), and decision application.
@@ -440,9 +508,32 @@ impl<S: Scheduler> Simulator<S> {
         cycle_span.arg("cycle", metrics.cycle_latency.count() as u64);
         // Build the scheduler's views.
         pending_order.retain(|id| matches!(records[id].state, JobState::Pending));
+        // Rebuild the fair-share book from ground truth each cycle (held
+        // nodes of running gangs, demand of pending gangs) so tenancy
+        // weights can never drift from engine state. With fair-share
+        // disabled — the closed-loop default — `weight()` returns literal
+        // 1.0 and the STRL objective is unchanged.
+        if service.fair_share().config().is_enabled() {
+            let book = service.fair_share_mut();
+            book.begin_cycle();
+            for rec in records.values() {
+                match rec.state {
+                    JobState::Running { ref nodes, .. } => {
+                        book.observe_held(rec.spec.id.0, nodes.len() as u64);
+                    }
+                    JobState::Pending => {
+                        book.observe_demand(rec.spec.id.0, u64::from(rec.spec.k));
+                    }
+                    _ => {}
+                }
+            }
+        }
         let pending: Vec<PendingJob> = pending_order
             .iter()
-            .map(|id| pending_view(&records[id]))
+            .map(|id| {
+                let rec = &records[id];
+                pending_view(rec, service.fair_share().weight(rec.spec.id.0))
+            })
             .collect();
         let mut running: Vec<RunningJob> = Vec::new();
         for rec in records.values() {
@@ -626,13 +717,57 @@ impl<S: Scheduler> Simulator<S> {
     }
 }
 
-fn pending_view(rec: &JobRecord) -> PendingJob {
+fn pending_view(rec: &JobRecord, weight: f64) -> PendingJob {
     PendingJob {
         spec: rec.spec.clone(),
         class: rec.class,
         reservation: rec.reservation,
         preemptions: rec.preemptions,
+        weight,
     }
+}
+
+/// Admits one job into the scheduler: reservation admission (every SLO job
+/// asks Rayon for a window `[submit, deadline]` sized by its *estimate*),
+/// classification, queueing, tracing, and the scheduler's submit hook. The
+/// closed-loop Submit path and the open-loop admission-cycle path share
+/// this seam so both classify identically.
+#[allow(clippy::too_many_arguments)]
+fn admit_job<S: Scheduler>(
+    job: JobId,
+    now: Time,
+    weight: f64,
+    rec: &mut JobRecord,
+    rs: &mut ReservationSystem,
+    pending_order: &mut Vec<JobId>,
+    trace: &mut TraceLog,
+    scheduler: &mut S,
+) {
+    if let Some(deadline) = rec.spec.deadline {
+        let window = Window::new(
+            rec.spec.submit,
+            deadline,
+            Atom::gang(rec.spec.k, rec.spec.estimated_runtime()),
+        );
+        match rs.request(&window, now) {
+            Some(r) => {
+                rec.class = JobClass::SloAccepted;
+                rec.reservation = Some(r);
+            }
+            None => rec.class = JobClass::SloNoReservation,
+        }
+    } else {
+        rec.class = JobClass::BestEffort;
+    }
+    rec.state = JobState::Pending;
+    pending_order.push(job);
+    trace.record(TraceEvent::Submitted {
+        job,
+        class: rec.class,
+        at: now,
+    });
+    let view = pending_view(rec, weight);
+    scheduler.on_submit(&view, now);
 }
 
 /// Telemetry counter name for an event kind (`sim.events.*`).

@@ -107,6 +107,13 @@ fn scaled(base: u64, factor: f64) -> u64 {
     ((base as f64 * factor).round() as u64).max(1)
 }
 
+/// Job ids drive service-core shard routing and tenant assignment.
+impl tetrisched_service::ServiceJob for JobSpec {
+    fn service_id(&self) -> u64 {
+        self.id.0
+    }
+}
+
 /// Terminal outcome of a job in a finished simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobOutcome {
@@ -125,6 +132,12 @@ pub enum JobOutcome {
     },
     /// Still pending or running when the simulation horizon was reached.
     Incomplete,
+    /// Shed by the service core under overload before ever entering the
+    /// scheduler (open-loop mode only).
+    Shed {
+        /// When the service shed it.
+        at: Time,
+    },
 }
 
 impl JobOutcome {

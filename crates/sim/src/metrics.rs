@@ -165,6 +165,17 @@ pub struct Metrics {
     /// Trace events evicted by the trace retention bound
     /// ([`crate::TraceLog::dropped`]).
     pub trace_events_dropped: u64,
+    /// Jobs the service core handed to the scheduler (equals arrivals in
+    /// closed-loop mode, where ingest is a pass-through).
+    pub jobs_admitted: u64,
+    /// Jobs the service core shed under overload (mailbox overflow plus
+    /// queue-depth load shedding; zero in closed-loop mode).
+    pub jobs_shed: u64,
+    /// Cumulative job-cycles spent deferred in intake queues under
+    /// backpressure (each admission cycle adds its leftover backlog).
+    pub jobs_deferred: u64,
+    /// Intake-shard mailbox overflows (a subset of `jobs_shed`).
+    pub intake_overflows: u64,
 }
 
 impl Metrics {

@@ -21,6 +21,10 @@ pub struct PendingJob {
     pub reservation: Option<Reservation>,
     /// How many times this job has been preempted and requeued.
     pub preemptions: u32,
+    /// Fair-share objective weight from the tenancy layer; exactly `1.0`
+    /// when fair-share is disabled (the closed-loop default), so the STRL
+    /// objective is unchanged byte-for-byte outside service mode.
+    pub weight: f64,
 }
 
 /// A running job as presented to a scheduler at cycle time.

@@ -99,6 +99,14 @@ pub enum TraceEvent {
         /// Event time.
         at: Time,
     },
+    /// The service core shed an arriving job under overload (open-loop
+    /// mode only: mailbox overflow or queue-depth load shedding).
+    Shed {
+        /// Job identity.
+        job: JobId,
+        /// Event time.
+        at: Time,
+    },
 }
 
 impl TraceEvent {
@@ -115,7 +123,8 @@ impl TraceEvent {
             | TraceEvent::Evicted { at, .. }
             | TraceEvent::Resubmitted { at, .. }
             | TraceEvent::RetriesExhausted { at, .. }
-            | TraceEvent::CycleDegraded { at, .. } => *at,
+            | TraceEvent::CycleDegraded { at, .. }
+            | TraceEvent::Shed { at, .. } => *at,
         }
     }
 
@@ -129,7 +138,8 @@ impl TraceEvent {
             | TraceEvent::Abandoned { job, .. }
             | TraceEvent::Evicted { job, .. }
             | TraceEvent::Resubmitted { job, .. }
-            | TraceEvent::RetriesExhausted { job, .. } => Some(*job),
+            | TraceEvent::RetriesExhausted { job, .. }
+            | TraceEvent::Shed { job, .. } => Some(*job),
             TraceEvent::NodeDown { .. }
             | TraceEvent::NodeUp { .. }
             | TraceEvent::CycleDegraded { .. } => None,

@@ -265,12 +265,15 @@ fn main() -> ExitCode {
         return ExitCode::from(1);
     }
     println!(
-        "observe: {} cycles, {} spans ({} dropped), {} trace events ({} dropped)",
+        "observe: {} cycles, {} spans ({} dropped), {} trace events ({} dropped), \
+         warm starts {} hit / {} miss",
         report.metrics.cycle_latency.count(),
         snap.spans.len(),
         snap.spans_dropped,
         report.trace.recorded(),
         report.trace.dropped(),
+        report.metrics.warm_start_hits,
+        report.metrics.warm_start_misses,
     );
     println!(
         "observe: wrote trace.jsonl, chrome_trace.json, metrics.prom under {}",

@@ -1,0 +1,285 @@
+//! `serve`: open-loop service-mode experiment under sustained overload.
+//!
+//! Drives the event-driven service core (sharded intake, admission
+//! batching, backpressure, fair-share weighting) with an open-loop
+//! Gridmix arrival stream at 2× the cluster's calibrated saturation rate,
+//! then
+//!
+//! 1. writes the three telemetry exports (JSONL, Chrome trace, Prometheus
+//!    snapshot) under `target/serve/`, and
+//! 2. prints the service-core accounting: arrivals, admitted, shed,
+//!    deferred job-cycles, mailbox overflows, and the resulting SLO/BE
+//!    class outcomes.
+//!
+//! ```text
+//! cargo run --release --bin serve [-- --check]
+//! ```
+//!
+//! With `--check` (the CI mode) the run fails unless ≥50 scheduling
+//! cycles were covered, every pipeline phase recorded at least one span,
+//! backpressure actually engaged (nonzero shed and deferred counters),
+//! the shed accounting is exact (every shed job carries a typed outcome
+//! and a trace event, and class totals equal admissions), and a second
+//! same-seed run produces byte-identical exports.
+//!
+//! Exit codes: `0` ok, `1` a `--check` assertion or exporter write failed.
+
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+use tetrisched::cluster::Cluster;
+use tetrisched::core::{TetriSched, TetriSchedConfig};
+use tetrisched::service::{AdmissionPolicy, FairShareConfig, ServiceConfig};
+use tetrisched::sim::{
+    JobOutcome, SimConfig, SimReport, Simulator, TelemetryConfig, TelemetrySnapshot, TraceEvent,
+};
+use tetrisched::workloads::{GridmixConfig, OpenLoopConfig, OpenLoopDriver, Workload};
+
+/// Workload seed; fixed so two runs are byte-comparable.
+const SEED: u64 = 5;
+
+/// Offered arrivals.
+const NUM_JOBS: usize = 60;
+
+/// Arrival-rate multiplier over the calibrated saturation point.
+const RATE: f64 = 2.0;
+
+/// Minimum scheduling cycles `--check` must cover.
+const MIN_CYCLES: usize = 50;
+
+/// Pipeline phases `--check` requires at least one span for.
+const REQUIRED_PHASES: [&str; 7] = [
+    "collect", "strl_gen", "lint", "compile", "solve", "certify", "decode",
+];
+
+fn run_once() -> SimReport {
+    let jobs = OpenLoopDriver::new(OpenLoopConfig::saturating(
+        GridmixConfig {
+            seed: SEED,
+            num_jobs: NUM_JOBS,
+            cluster_size: 16,
+            target_utilization: 1.0,
+            estimate_error: 0.0,
+            error_jitter: 0.0,
+            slowdown: 1.5,
+        },
+        RATE,
+    ))
+    .generate(Workload::GsMix);
+    // Small bounded queues so 2× saturation visibly defers and sheds.
+    let service = ServiceConfig::open(
+        4,
+        8,
+        AdmissionPolicy {
+            max_admissions_per_cycle: 4,
+            max_scheduler_backlog: 8,
+            shed_queue_depth: 16,
+        },
+        FairShareConfig::enabled(4),
+    );
+    // Generous solver budget no solve reaches: a wall-clock cutoff that
+    // actually fired would make the explored node count run-dependent and
+    // break export byte-identity (see `observe`).
+    let config = TetriSchedConfig {
+        lint_models: true,
+        certify_solves: true,
+        solver_time_limit: std::time::Duration::from_secs(120),
+        ..TetriSchedConfig::full(16)
+    };
+    Simulator::new(
+        Cluster::uniform(2, 8, 1),
+        TetriSched::new(config),
+        SimConfig {
+            horizon: Some(3000),
+            trace: true,
+            telemetry: TelemetryConfig::on(),
+            service,
+            ..SimConfig::default()
+        },
+    )
+    .run(jobs)
+}
+
+/// The three exports of one run, as bytes (sim-domain only, so same-seed
+/// runs compare byte-for-byte).
+struct Exports {
+    jsonl: String,
+    chrome: String,
+    prom: String,
+}
+
+fn export(report: &SimReport) -> Exports {
+    Exports {
+        jsonl: report.telemetry.to_jsonl(false),
+        chrome: report.telemetry.to_chrome_trace(),
+        prom: report.telemetry.to_prometheus(false),
+    }
+}
+
+fn write_exports(dir: &Path, e: &Exports) -> Result<(), std::io::Error> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join("trace.jsonl"), &e.jsonl)?;
+    fs::write(dir.join("chrome_trace.json"), &e.chrome)?;
+    fs::write(dir.join("metrics.prom"), &e.prom)?;
+    Ok(())
+}
+
+fn shed_outcomes(report: &SimReport) -> u64 {
+    report
+        .outcomes
+        .values()
+        .filter(|o| matches!(o, JobOutcome::Shed { .. }))
+        .count() as u64
+}
+
+fn shed_traces(report: &SimReport) -> u64 {
+    report
+        .trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Shed { .. }))
+        .count() as u64
+}
+
+fn print_summary(report: &SimReport) {
+    let m = &report.metrics;
+    println!("-- service accounting --");
+    println!("{:<22}{:>8}", "arrivals offered", NUM_JOBS);
+    println!("{:<22}{:>8}", "admitted", m.jobs_admitted);
+    println!("{:<22}{:>8}", "shed", m.jobs_shed);
+    println!("{:<22}{:>8}", "deferred job-cycles", m.jobs_deferred);
+    println!("{:<22}{:>8}", "mailbox overflows", m.intake_overflows);
+    println!();
+    println!("-- admitted job classes --");
+    println!(
+        "{:<22}{:>5}/{}",
+        "SLO accepted met", m.accepted_slo_met, m.accepted_slo_total
+    );
+    println!(
+        "{:<22}{:>5}/{}",
+        "SLO no-reservation met", m.nores_slo_met, m.nores_slo_total
+    );
+    println!(
+        "{:<22}{:>5}/{}",
+        "best-effort completed", m.be_completed, m.be_total
+    );
+    println!("{:<22}{:>8}", "incomplete at horizon", m.incomplete);
+}
+
+/// `--check` assertions; returns the failure messages.
+fn check(
+    report: &SimReport,
+    snap: &TelemetrySnapshot,
+    first: &Exports,
+    second: &Exports,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let m = &report.metrics;
+    let cycles = m.cycle_latency.count();
+    if cycles < MIN_CYCLES {
+        failures.push(format!(
+            "coverage shortfall: {cycles} cycles < {MIN_CYCLES}"
+        ));
+    }
+    for phase in REQUIRED_PHASES {
+        if !snap.spans.iter().any(|s| s.name == phase) {
+            failures.push(format!("phase `{phase}` recorded zero spans"));
+        }
+    }
+    // Backpressure must actually engage at 2× saturation.
+    if m.jobs_deferred == 0 {
+        failures.push("no arrivals deferred at 2x saturation".to_string());
+    }
+    if m.jobs_shed == 0 {
+        failures.push("no arrivals shed at 2x saturation".to_string());
+    }
+    // Shed accounting is exact: typed outcomes and trace events agree
+    // with the counter, class totals cover exactly the admitted jobs,
+    // and nothing is double-counted.
+    if shed_outcomes(report) != m.jobs_shed {
+        failures.push(format!(
+            "shed outcome mismatch: {} outcomes vs {} counted",
+            shed_outcomes(report),
+            m.jobs_shed
+        ));
+    }
+    if shed_traces(report) != m.jobs_shed {
+        failures.push(format!(
+            "shed trace mismatch: {} events vs {} counted",
+            shed_traces(report),
+            m.jobs_shed
+        ));
+    }
+    let classed = (m.accepted_slo_total + m.nores_slo_total + m.be_total) as u64;
+    if classed != m.jobs_admitted {
+        failures.push(format!(
+            "class totals {} != admissions {}",
+            classed, m.jobs_admitted
+        ));
+    }
+    if m.jobs_admitted + m.jobs_shed > NUM_JOBS as u64 {
+        failures.push(format!(
+            "admitted {} + shed {} exceed the {NUM_JOBS} offered arrivals",
+            m.jobs_admitted, m.jobs_shed
+        ));
+    }
+    if m.intake_overflows > m.jobs_shed {
+        failures.push(format!(
+            "mailbox overflows {} exceed total shed {}",
+            m.intake_overflows, m.jobs_shed
+        ));
+    }
+    for (what, a, b) in [
+        ("jsonl", &first.jsonl, &second.jsonl),
+        ("chrome", &first.chrome, &second.chrome),
+        ("prometheus", &first.prom, &second.prom),
+    ] {
+        if a != b {
+            failures.push(format!("{what} export differs between same-seed runs"));
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let check_mode = std::env::args().any(|a| a == "--check");
+    let report = run_once();
+    let snap = report.telemetry.snapshot();
+    let exports = export(&report);
+
+    let out_dir = Path::new("target/serve");
+    if let Err(e) = write_exports(out_dir, &exports) {
+        eprintln!("serve: exporter error: {e}");
+        return ExitCode::from(1);
+    }
+    println!(
+        "serve: {}x saturation, {} cycles, {} spans ({} dropped)",
+        RATE,
+        report.metrics.cycle_latency.count(),
+        snap.spans.len(),
+        snap.spans_dropped,
+    );
+    println!(
+        "serve: wrote trace.jsonl, chrome_trace.json, metrics.prom under {}",
+        out_dir.display()
+    );
+    println!();
+    print_summary(&report);
+
+    if !check_mode {
+        return ExitCode::SUCCESS;
+    }
+    // Second same-seed run: the sim-domain exports must be byte-identical.
+    let second = export(&run_once());
+    let failures = check(&report, &snap, &exports, &second);
+    if failures.is_empty() {
+        println!("\nserve --check: OK");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("serve --check: FAIL: {f}");
+        }
+        ExitCode::from(1)
+    }
+}

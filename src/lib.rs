@@ -58,6 +58,7 @@ pub use tetrisched_cluster as cluster;
 pub use tetrisched_core as core;
 pub use tetrisched_milp as milp;
 pub use tetrisched_reservation as reservation;
+pub use tetrisched_service as service;
 pub use tetrisched_sim as sim;
 pub use tetrisched_strl as strl;
 pub use tetrisched_workloads as workloads;

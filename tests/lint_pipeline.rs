@@ -97,6 +97,7 @@ proptest! {
                 class: class_of(j.class),
                 reservation: None,
                 preemptions: 0,
+                weight: 1.0,
             };
             // Jobs whose deadline already passed are culled by the
             // scheduler before linting; mirror that here.
