@@ -13,7 +13,7 @@
 use tetrisched_bench::figures::FigScale;
 use tetrisched_bench::harness::{run_spec, RunSpec, SchedulerKind};
 use tetrisched_core::TetriSchedConfig;
-use tetrisched_sim::{FaultPlan, RetryPolicy};
+use tetrisched_sim::{FaultPlan, PerfFaultPlan, RetryPolicy, StragglerConfig};
 use tetrisched_workloads::Workload;
 
 fn run(label: &str, scale: &FigScale, error: f64, cfg: TetriSchedConfig) {
@@ -29,6 +29,8 @@ fn run(label: &str, scale: &FigScale, error: f64, cfg: TetriSchedConfig) {
         slowdown: 2.0,
         faults: FaultPlan::none(),
         retry: RetryPolicy::default(),
+        perf_faults: PerfFaultPlan::none(),
+        stragglers: StragglerConfig::disabled(),
     });
     let m = &report.metrics;
     println!(

@@ -7,19 +7,40 @@
 //! paper metrics alongside the robustness counters (evictions, retries,
 //! abandoned-after-retries, degraded cycles, availability).
 //!
-//! Run: `cargo run --release -p tetrisched-bench --bin churn [--smoke]`
+//! With `--perf-faults` the sweep additionally injects seeded slow-node
+//! windows; `--stragglers` arms the speculative straggler defense. The
+//! `--check` flag runs the deterministic degraded-mode chaos gate instead
+//! of the sweep: scripted 4x slowdown on 10% of nodes at 2x saturation,
+//! asserting the degradation ladder engages and recovers, every solve's
+//! certificate verifies, and the ladder beats the binary cliff on SLO
+//! attainment. Nonzero exit on any violation, for CI.
+//!
+//! Run: `cargo run --release -p tetrisched-bench --bin churn -- \
+//!       [--smoke] [--perf-faults] [--stragglers] [--check]`
 
 use tetrisched_bench::figures::FigScale;
 use tetrisched_bench::harness::{run_spec, RunSpec, SchedulerKind};
-use tetrisched_bench::table::{print_figure, robustness_panels, MetricsRow};
-use tetrisched_core::TetriSchedConfig;
-use tetrisched_sim::{FaultConfig, FaultPlan, FaultScope, FaultScript, RetryPolicy};
-use tetrisched_workloads::Workload;
+use tetrisched_bench::table::{degraded_panels, print_figure, robustness_panels, MetricsRow};
+use tetrisched_cluster::NodeId;
+use tetrisched_core::{GovernorConfig, TetriSched, TetriSchedConfig};
+use tetrisched_sim::{
+    FaultConfig, FaultPlan, FaultScope, FaultScript, PerfFaultConfig, PerfFaultKind, PerfFaultPlan,
+    PerfFaultScript, RetryPolicy, SimConfig, SimReport, Simulator, StragglerConfig,
+    TelemetryConfig, TraceEvent,
+};
+use tetrisched_workloads::{GridmixConfig, Workload, WorkloadBuilder};
 
 /// Fault-plan horizon: long enough to cover any churn run at these scales.
 const FAULT_HORIZON: u64 = 100_000;
 
-fn churn_spec(scale: &FigScale, kind: SchedulerKind, seed: u64, faults: FaultPlan) -> RunSpec {
+fn churn_spec(
+    scale: &FigScale,
+    kind: SchedulerKind,
+    seed: u64,
+    faults: FaultPlan,
+    perf_faults: PerfFaultPlan,
+    stragglers: StragglerConfig,
+) -> RunSpec {
     RunSpec {
         workload: Workload::GsHet,
         cluster: scale.rc80(),
@@ -32,11 +53,196 @@ fn churn_spec(scale: &FigScale, kind: SchedulerKind, seed: u64, faults: FaultPla
         slowdown: 2.0,
         faults,
         retry: RetryPolicy::default(),
+        perf_faults,
+        stragglers,
     }
+}
+
+/// Seeded slow-node windows for the `--perf-faults` sweep: a node drifts
+/// into a 2-4x degradation window on average every ~1500 s and stays
+/// degraded for ~120 s.
+fn sweep_perf_faults(num_nodes: usize, seed: u64) -> PerfFaultPlan {
+    PerfFaultPlan::generate(
+        num_nodes,
+        &PerfFaultConfig {
+            seed,
+            mtbf: 1500.0,
+            duration: 120.0,
+            factor_min: 2.0,
+            factor_max: 4.0,
+            horizon: FAULT_HORIZON,
+        },
+    )
+}
+
+/// One deterministic chaos run for `--check`: closed-loop GS HET at 2x
+/// saturation with a scripted mid-run 4x slowdown on 10% of the nodes,
+/// traced so the ladder-rung trajectory is observable.
+fn chaos_run(scale: &FigScale, governor: GovernorConfig) -> SimReport {
+    let cluster = scale.rc80();
+    let slow = cluster.num_nodes().div_ceil(10);
+    let perf_faults = PerfFaultPlan::from_script(
+        &cluster,
+        &[PerfFaultScript {
+            at: 40,
+            duration: 800,
+            scope: FaultScope::Nodes((0..slow).map(|i| NodeId(i as u32)).collect()),
+            kind: PerfFaultKind::SlowNode { factor: 4.0 },
+            announced: false,
+        }],
+    );
+    let cfg = TetriSchedConfig {
+        cycle_period: scale.cycle_period,
+        certify_solves: true,
+        governor,
+        ..TetriSchedConfig::default()
+    };
+    let jobs = WorkloadBuilder::new(GridmixConfig {
+        seed: scale.seed,
+        num_jobs: scale.num_jobs,
+        cluster_size: cluster.num_nodes(),
+        target_utilization: 2.0,
+        estimate_error: 0.0,
+        error_jitter: 0.0,
+        slowdown: 2.0,
+    })
+    .with_estimate_error(Workload::GsHet, 0.0);
+    Simulator::new(
+        cluster,
+        TetriSched::new(cfg),
+        SimConfig {
+            cycle_period: scale.cycle_period,
+            horizon: Some(1_000_000),
+            trace: true,
+            perf_faults,
+            stragglers: StragglerConfig::defaults(),
+            telemetry: TelemetryConfig::on(),
+            ..SimConfig::default()
+        },
+    )
+    .run(jobs)
+}
+
+/// The traced rung trajectory of a run: the rung after each change.
+fn rung_trajectory(report: &SimReport) -> Vec<u8> {
+    report
+        .trace
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::LadderRung { rung, .. } => Some(*rung),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The degraded-mode chaos gate (`--check`). Returns the number of failed
+/// assertions; prints one line per check.
+fn chaos_check(scale: &FigScale) -> usize {
+    // SLO attainment at the smoke job count is too coarse to separate the
+    // ladder from the cliff; give the gate enough jobs that a one-job
+    // difference is under 3 percentage points.
+    let mut scale = scale.clone();
+    scale.num_jobs = scale.num_jobs.max(36);
+    let scale = &scale;
+    // The defaults' work budget is sized for paper-scale MILPs; at smoke
+    // scale the solves are small, so the gate tightens the budget until
+    // the scripted slowdown actually pushes cycles over it.
+    let budget = if scale.full_clusters { 50_000 } else { 400 };
+    let mut ladder_gov = GovernorConfig::defaults();
+    ladder_gov.work_budget = budget;
+    let mut binary_gov = GovernorConfig::binary_fallback();
+    binary_gov.work_budget = budget;
+
+    let ladder = chaos_run(scale, ladder_gov);
+    let binary = chaos_run(scale, binary_gov);
+    let trajectory = rung_trajectory(&ladder);
+    let deepest = trajectory.iter().copied().max().unwrap_or(0);
+    let last = trajectory.last().copied().unwrap_or(0);
+
+    let mut failures = 0;
+    let mut check = |name: &str, ok: bool, detail: String| {
+        println!("  [{}] {name}: {detail}", if ok { "ok" } else { "FAIL" });
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    let cycles = ladder.metrics.cycle_latency.count();
+    check(
+        "coverage",
+        cycles >= 50,
+        format!("{cycles} scheduling cycles (need >= 50)"),
+    );
+    check(
+        "ladder engages",
+        deepest > 0,
+        format!("deepest rung {deepest}, trajectory {trajectory:?}"),
+    );
+    check(
+        "ladder recovers",
+        deepest > 0 && last < deepest,
+        format!("final rung {last} after deepest {deepest}"),
+    );
+    check(
+        "certificates verify (ladder)",
+        ladder.metrics.certificate_failures == 0 && ladder.metrics.certificates_verified > 0,
+        format!(
+            "{} verified, {} failed",
+            ladder.metrics.certificates_verified, ladder.metrics.certificate_failures
+        ),
+    );
+    check(
+        "certificates verify (binary)",
+        binary.metrics.certificate_failures == 0,
+        format!("{} failed", binary.metrics.certificate_failures),
+    );
+    let (ladder_slo, binary_slo) = (
+        ladder.metrics.total_slo_attainment(),
+        binary.metrics.total_slo_attainment(),
+    );
+    check(
+        "ladder beats binary fallback on SLO",
+        ladder_slo > binary_slo,
+        format!(
+            "ladder {ladder_slo:.1}% vs binary {binary_slo:.1}% (greedy cycles {} vs {}, BE lat {:.0}s vs {:.0}s)",
+            ladder.metrics.solver_fallbacks,
+            binary.metrics.solver_fallbacks,
+            ladder.metrics.be_mean_latency(),
+            binary.metrics.be_mean_latency(),
+        ),
+    );
+    check(
+        "straggler defense engaged",
+        ladder.metrics.stragglers_detected > 0,
+        format!(
+            "{} detected, {} migrated",
+            ladder.metrics.stragglers_detected, ladder.metrics.speculative_migrations
+        ),
+    );
+    failures
 }
 
 fn main() {
     let scale = FigScale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--check") {
+        println!("== Degraded-mode chaos gate: 4x slowdown on 10% of nodes at 2x saturation ==");
+        let failures = chaos_check(&scale);
+        if failures > 0 {
+            eprintln!("chaos gate: {failures} check(s) failed");
+            std::process::exit(1);
+        }
+        println!("chaos gate: all checks passed");
+        return;
+    }
+    let with_perf = args.iter().any(|a| a == "--perf-faults");
+    let with_stragglers = args.iter().any(|a| a == "--stragglers");
+    let stragglers = if with_stragglers {
+        StragglerConfig::defaults()
+    } else {
+        StragglerConfig::disabled()
+    };
     let cluster = scale.rc80();
     let num_nodes = cluster.num_nodes();
     println!(
@@ -80,7 +286,19 @@ fn main() {
                             },
                         )
                     };
-                    let report = run_spec(&churn_spec(&scale, kind.clone(), seed, faults));
+                    let perf = if with_perf {
+                        sweep_perf_faults(num_nodes, seed)
+                    } else {
+                        PerfFaultPlan::none()
+                    };
+                    let report = run_spec(&churn_spec(
+                        &scale,
+                        kind.clone(),
+                        seed,
+                        faults,
+                        perf,
+                        stragglers,
+                    ));
                     MetricsRow::from_report(kind.name(), mtbf, &report)
                 })
                 .collect();
@@ -93,6 +311,14 @@ fn main() {
         &rows,
         &robustness_panels(),
     );
+    if with_perf || with_stragglers {
+        print_figure(
+            "Degraded mode: perf faults / straggler defense",
+            "MTBF s/node",
+            &rows,
+            &degraded_panels(),
+        );
+    }
 
     // Scripted correlated outage: a whole rack goes dark mid-run for 120 s.
     println!("== Correlated outage: rack 0 down [200, 320) ==");
@@ -109,7 +335,14 @@ fn main() {
                 scope: FaultScope::Rack(tetrisched_cluster::RackId(0)),
             }],
         );
-        let report = run_spec(&churn_spec(&scale, kind.clone(), scale.seed, faults));
+        let report = run_spec(&churn_spec(
+            &scale,
+            kind.clone(),
+            scale.seed,
+            faults,
+            PerfFaultPlan::none(),
+            stragglers,
+        ));
         let m = &report.metrics;
         println!(
             "{:<16}{:>10.1}{:>12.1}{:>12}{:>12}{:>12}{:>10}",

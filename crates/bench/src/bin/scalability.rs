@@ -10,7 +10,7 @@
 use tetrisched_bench::harness::{run_spec, RunSpec, SchedulerKind};
 use tetrisched_cluster::Cluster;
 use tetrisched_core::TetriSchedConfig;
-use tetrisched_sim::{FaultPlan, RetryPolicy};
+use tetrisched_sim::{FaultPlan, PerfFaultPlan, RetryPolicy, StragglerConfig};
 use tetrisched_workloads::Workload;
 
 fn main() {
@@ -43,6 +43,8 @@ fn main() {
             slowdown: 2.0,
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
+            perf_faults: PerfFaultPlan::none(),
+            stragglers: StragglerConfig::disabled(),
         });
         let m = &report.metrics;
         println!(

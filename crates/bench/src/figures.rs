@@ -2,7 +2,7 @@
 
 use tetrisched_cluster::Cluster;
 use tetrisched_core::TetriSchedConfig;
-use tetrisched_sim::{FaultPlan, RetryPolicy};
+use tetrisched_sim::{FaultPlan, PerfFaultPlan, RetryPolicy, StragglerConfig};
 use tetrisched_workloads::Workload;
 
 use crate::harness::{run_spec, RunSpec, SchedulerKind};
@@ -140,6 +140,8 @@ fn error_sweep(
                         slowdown,
                         faults: FaultPlan::none(),
                         retry: RetryPolicy::default(),
+                        perf_faults: PerfFaultPlan::none(),
+                        stragglers: StragglerConfig::disabled(),
                     });
                     MetricsRow::from_report(kind.name(), err, &report)
                 })
@@ -271,6 +273,8 @@ pub fn fig11(scale: &FigScale) -> Vec<MetricsRow> {
                         slowdown: 2.0,
                         faults: FaultPlan::none(),
                         retry: RetryPolicy::default(),
+                        perf_faults: PerfFaultPlan::none(),
+                        stragglers: StragglerConfig::disabled(),
                     });
                     MetricsRow::from_report(name, pa as f64, &report)
                 })
@@ -293,6 +297,8 @@ pub fn fig11(scale: &FigScale) -> Vec<MetricsRow> {
                 slowdown: 2.0,
                 faults: FaultPlan::none(),
                 retry: RetryPolicy::default(),
+                perf_faults: PerfFaultPlan::none(),
+                stragglers: StragglerConfig::disabled(),
             });
             MetricsRow::from_report("rayon-cs", 0.0, &report)
         })
@@ -327,6 +333,8 @@ pub fn fig12_cdf(scale: &FigScale) -> Vec<(String, Vec<(f64, f64)>)> {
             slowdown: 2.0,
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
+            perf_faults: PerfFaultPlan::none(),
+            stragglers: StragglerConfig::disabled(),
         });
         out.push((format!("{name} cycle"), report.metrics.cycle_latency.cdf()));
         out.push((

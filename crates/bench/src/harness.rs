@@ -3,7 +3,10 @@
 use tetrisched_baseline::CapacityScheduler;
 use tetrisched_cluster::Cluster;
 use tetrisched_core::{TetriSched, TetriSchedConfig};
-use tetrisched_sim::{FaultPlan, RetryPolicy, SimConfig, SimReport, Simulator, TelemetryConfig};
+use tetrisched_sim::{
+    FaultPlan, PerfFaultPlan, RetryPolicy, SimConfig, SimReport, Simulator, StragglerConfig,
+    TelemetryConfig,
+};
 use tetrisched_workloads::{GridmixConfig, Workload, WorkloadBuilder};
 
 /// Which scheduler stack to run.
@@ -52,6 +55,12 @@ pub struct RunSpec {
     pub faults: FaultPlan,
     /// Backoff/budget policy for gangs evicted by node failures.
     pub retry: RetryPolicy,
+    /// Performance-fault plan: scripted or seeded slow-node / degraded-
+    /// capacity windows (`PerfFaultPlan::none()` for full-speed nodes).
+    pub perf_faults: PerfFaultPlan,
+    /// Straggler detection and speculative migration knobs
+    /// (`StragglerConfig::disabled()` reproduces pre-defense behavior).
+    pub stragglers: StragglerConfig,
 }
 
 impl RunSpec {
@@ -65,6 +74,14 @@ impl RunSpec {
     /// experiments can opt in without touching every figure pipeline.
     pub fn no_faults() -> (FaultPlan, RetryPolicy) {
         (FaultPlan::none(), RetryPolicy::default())
+    }
+
+    /// No performance faults and no straggler defense — the degraded-mode
+    /// analogue of [`RunSpec::no_faults`], used by every paper-figure
+    /// pipeline so their runs reproduce pre-degraded-mode behavior
+    /// byte-for-byte.
+    pub fn no_degradation() -> (PerfFaultPlan, StragglerConfig) {
+        (PerfFaultPlan::none(), StragglerConfig::disabled())
     }
 }
 
@@ -88,6 +105,8 @@ pub fn run_spec(spec: &RunSpec) -> SimReport {
         trace: false,
         faults: spec.faults.clone(),
         retry: spec.retry,
+        perf_faults: spec.perf_faults.clone(),
+        stragglers: spec.stragglers,
         // Spans, counters, and phase wall histograms for the telemetry
         // columns of the result tables (Fig. 12-style forensics).
         telemetry: TelemetryConfig::on(),
@@ -130,6 +149,8 @@ mod tests {
                 slowdown: 1.5,
                 faults: FaultPlan::none(),
                 retry: RetryPolicy::default(),
+                perf_faults: PerfFaultPlan::none(),
+                stragglers: StragglerConfig::disabled(),
             });
             let m = &report.metrics;
             let terminal = m.accepted_slo_total + m.nores_slo_total + m.be_total;

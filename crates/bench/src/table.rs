@@ -59,6 +59,16 @@ pub struct MetricsRow {
     /// 99th-percentile MILP solve phase wall time, milliseconds, from the
     /// telemetry wall histograms (zero when telemetry was disabled).
     pub phase_solve_ms_p99: f64,
+    /// Nodes that entered at least one performance-fault window.
+    pub perf_faulted_nodes: u64,
+    /// Straggler tasks flagged by the progress-watermark detector.
+    pub stragglers_detected: u64,
+    /// Speculative straggler migrations actually issued.
+    pub speculative_migrations: u64,
+    /// Deepest degradation-ladder rung reached (0 = full MILP).
+    pub ladder_rung: u64,
+    /// Budget-expired anytime solves that still returned an incumbent.
+    pub anytime_incumbents: u64,
     /// Jobs the service core admitted to the scheduler.
     pub jobs_admitted: u64,
     /// Jobs the service core shed (overflow or depth bound).
@@ -101,6 +111,11 @@ impl MetricsRow {
                 .telemetry
                 .wall_hist("phase.solve_secs")
                 .map_or(0.0, |h| h.quantile(0.99) * 1e3),
+            perf_faulted_nodes: m.perf_faulted_nodes,
+            stragglers_detected: m.stragglers_detected,
+            speculative_migrations: m.speculative_migrations,
+            ladder_rung: m.ladder_rung,
+            anytime_incumbents: m.anytime_incumbents,
             jobs_admitted: m.jobs_admitted,
             jobs_shed: m.jobs_shed,
             jobs_deferred: m.jobs_deferred,
@@ -158,6 +173,17 @@ impl MetricsRow {
             trace_events_dropped: rows.iter().map(|r| r.trace_events_dropped).sum::<u64>()
                 / rows.len() as u64,
             phase_solve_ms_p99: avg(|r| r.phase_solve_ms_p99),
+            perf_faulted_nodes: rows.iter().map(|r| r.perf_faulted_nodes).sum::<u64>()
+                / rows.len() as u64,
+            stragglers_detected: rows.iter().map(|r| r.stragglers_detected).sum::<u64>()
+                / rows.len() as u64,
+            speculative_migrations: rows.iter().map(|r| r.speculative_migrations).sum::<u64>()
+                / rows.len() as u64,
+            // The deepest rung any replication reached, not the average: a
+            // single replication hitting the greedy floor is the signal.
+            ladder_rung: rows.iter().map(|r| r.ladder_rung).max().unwrap_or(0),
+            anytime_incumbents: rows.iter().map(|r| r.anytime_incumbents).sum::<u64>()
+                / rows.len() as u64,
             jobs_admitted: rows.iter().map(|r| r.jobs_admitted).sum::<u64>() / rows.len() as u64,
             jobs_shed: rows.iter().map(|r| r.jobs_shed).sum::<u64>() / rows.len() as u64,
             jobs_deferred: rows.iter().map(|r| r.jobs_deferred).sum::<u64>() / rows.len() as u64,
@@ -242,6 +268,21 @@ pub fn robustness_panels() -> Vec<Panel> {
     ]
 }
 
+/// Degraded-mode panels: perf faults, straggler defense, and the anytime
+/// degradation ladder (this repo's robustness extensions to the paper).
+pub fn degraded_panels() -> Vec<Panel> {
+    vec![
+        ("SLO attainment, all SLO jobs (%)", |r| r.total_slo),
+        ("perf-faulted nodes", |r| r.perf_faulted_nodes as f64),
+        ("stragglers detected", |r| r.stragglers_detected as f64),
+        ("speculative migrations", |r| {
+            r.speculative_migrations as f64
+        }),
+        ("deepest ladder rung", |r| r.ladder_rung as f64),
+        ("anytime incumbents", |r| r.anytime_incumbents as f64),
+    ]
+}
+
 /// Service-core panels: admission/backpressure accounting for open-loop
 /// service-mode experiments (beyond the paper's closed-loop evaluation).
 pub fn service_panels() -> Vec<Panel> {
@@ -296,6 +337,11 @@ mod tests {
             presolve_reductions: 0,
             trace_events_dropped: 0,
             phase_solve_ms_p99: 0.0,
+            perf_faulted_nodes: 0,
+            stragglers_detected: 0,
+            speculative_migrations: 0,
+            ladder_rung: 0,
+            anytime_incumbents: 0,
             jobs_admitted: 0,
             jobs_shed: 0,
             jobs_deferred: 0,

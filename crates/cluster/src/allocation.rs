@@ -8,6 +8,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::health::NodeHealth;
 use crate::nodeset::NodeSet;
 use crate::Time;
 
@@ -68,6 +69,7 @@ pub struct Ledger {
     down: NodeSet,
     owner: Vec<Option<AllocHandle>>,
     allocs: BTreeMap<AllocHandle, Alloc>,
+    health: NodeHealth,
 }
 
 impl Ledger {
@@ -79,7 +81,19 @@ impl Ledger {
             down: NodeSet::empty(num_nodes),
             owner: vec![None; num_nodes],
             allocs: BTreeMap::new(),
+            health: NodeHealth::new(num_nodes),
         }
+    }
+
+    /// The performance-health view: live slowdown factors plus announced
+    /// maintenance windows. Fail-stop state stays in free/down.
+    pub fn health(&self) -> &NodeHealth {
+        &self.health
+    }
+
+    /// Mutable health view, updated by the fault-replay layer.
+    pub fn health_mut(&mut self) -> &mut NodeHealth {
+        &mut self.health
     }
 
     /// Universe size.
@@ -252,12 +266,19 @@ impl Ledger {
     }
 
     /// The subset of `within` expected to be free at time `t`: nodes free
-    /// now, plus busy nodes whose expected end is at or before `t`.
+    /// now, plus busy nodes whose expected end is at or before `t` —
+    /// minus nodes inside an announced maintenance window at `t`, so
+    /// plan-ahead schedules around degradation it has been told about.
     pub fn free_at(&self, within: &NodeSet, t: Time) -> NodeSet {
         let mut out = self.free.and(within);
         for alloc in self.allocs.values() {
             if alloc.expected_end <= t {
                 out = out.or(&alloc.nodes.and(within));
+            }
+        }
+        for w in self.health.announced() {
+            if w.start <= t && t < w.end && out.contains(w.node) {
+                out.remove(w.node);
             }
         }
         out
@@ -427,6 +448,23 @@ mod tests {
         // At 10 the allocation frees, but the down node stays excluded.
         assert_eq!(l.avail_at(&all, 10), 3);
         assert_eq!(l.busy_count(), 1);
+        l.validate().expect("ledger invariants must hold");
+    }
+
+    #[test]
+    fn announced_maintenance_excluded_from_future_availability() {
+        let mut l = Ledger::new(4);
+        l.health_mut().announce(NodeId(2), 10, 30);
+        let all = NodeSet::full(4);
+        // Before and after the window the node counts; inside it does not.
+        assert_eq!(l.avail_at(&all, 0), 4);
+        assert_eq!(l.avail_at(&all, 10), 3);
+        assert_eq!(l.avail_at(&all, 29), 3);
+        assert_eq!(l.avail_at(&all, 30), 4);
+        assert!(!l.free_at(&all, 15).contains(NodeId(2)));
+        // Unannounced degradation does not affect availability.
+        l.health_mut().set_factor(NodeId(1), 4.0);
+        assert_eq!(l.avail_at(&all, 0), 4);
         l.validate().expect("ledger invariants must hold");
     }
 

@@ -38,12 +38,14 @@
 //! ```
 
 pub mod allocation;
+pub mod health;
 pub mod node;
 pub mod nodeset;
 pub mod partition;
 pub mod topology;
 
 pub use allocation::{AllocHandle, Ledger};
+pub use health::{MaintenanceWindow, NodeHealth};
 pub use node::{Attr, Node, NodeId, RackId};
 pub use nodeset::NodeSet;
 pub use partition::PartitionSet;

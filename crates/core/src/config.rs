@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use crate::governor::GovernorConfig;
+
 /// Tunable parameters of the TetriSched scheduler.
 #[derive(Debug, Clone)]
 pub struct TetriSchedConfig {
@@ -87,6 +89,10 @@ pub struct TetriSchedConfig {
     /// and a greedy job is skipped with a quarantine strike. Off by
     /// default: certification replays the whole solve audit.
     pub certify_solves: bool,
+    /// The anytime degradation ladder and its cycle-budget governor
+    /// ([`crate::governor`]). Disabled by default: without it the global
+    /// path keeps the pre-ladder binary global-or-greedy fallback.
+    pub governor: GovernorConfig,
 }
 
 impl Default for TetriSchedConfig {
@@ -113,6 +119,7 @@ impl Default for TetriSchedConfig {
             chaos_global_solve_failures: Vec::new(),
             lint_models: false,
             certify_solves: false,
+            governor: GovernorConfig::disabled(),
         }
     }
 }

@@ -26,9 +26,11 @@
 pub mod compiler;
 pub mod config;
 pub mod generator;
+pub mod governor;
 pub mod scheduler;
 
 pub use compiler::{compile, ChosenAlloc, CompileInput, CompiledModel};
 pub use config::TetriSchedConfig;
 pub use generator::{JobRequest, PlacementOption, StrlGenerator};
+pub use governor::{Governor, GovernorConfig, LadderRung};
 pub use scheduler::TetriSched;

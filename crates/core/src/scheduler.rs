@@ -7,7 +7,7 @@ use lint::{
     has_errors, lint_expr, lint_model, validate_translation, Diagnostic, Severity, StrlLintContext,
 };
 use tetrisched_cluster::{AllocHandle, Ledger, NodeSet, PartitionSet, Time};
-use tetrisched_milp::{ExactBackend, HeuristicBackend, MilpBackend, SolverConfig};
+use tetrisched_milp::{ExactBackend, HeuristicBackend, MilpBackend, SolveStatus, SolverConfig};
 use tetrisched_sim::{
     CycleContext, CycleDecisions, CycleError, JobId, Launch, PendingJob, Scheduler,
 };
@@ -16,6 +16,7 @@ use tetrisched_strl::{JobClass, StrlExpr};
 use crate::compiler::{compile, CompileInput, CompiledModel};
 use crate::config::TetriSchedConfig;
 use crate::generator::{JobRequest, LeafTag, OptionKey, StrlGenerator};
+use crate::governor::{Governor, LadderRung};
 
 /// The TetriSched scheduler (all Table 2 configurations).
 pub struct TetriSched {
@@ -26,16 +27,25 @@ pub struct TetriSched {
     compile_failures: BTreeMap<JobId, u32>,
     /// Global MILP solves attempted so far (drives the chaos knob).
     global_solves: u64,
+    /// The degradation-ladder governor; disabled by default, in which
+    /// case the pre-ladder binary global-or-greedy fallback applies.
+    governor: Governor,
+    /// True while the current global solve runs on the ladder's anytime
+    /// rung (tight incumbent-only solver budget).
+    anytime_mode: bool,
 }
 
 impl TetriSched {
     /// Creates a scheduler with the given configuration.
     pub fn new(config: TetriSchedConfig) -> Self {
+        let governor = Governor::new(config.governor.clone());
         TetriSched {
             config,
             choice_cache: BTreeMap::new(),
             compile_failures: BTreeMap::new(),
             global_solves: 0,
+            governor,
+            anytime_mode: false,
         }
     }
 
@@ -68,8 +78,15 @@ impl TetriSched {
     }
 
     fn solver_config(&self) -> SolverConfig {
-        SolverConfig::online(self.config.solver_time_limit)
-            .with_rel_gap(self.config.solver_gap)
+        let base = if self.anytime_mode {
+            SolverConfig::anytime(
+                self.config.solver_time_limit,
+                self.governor.config().anytime_node_limit,
+            )
+        } else {
+            SolverConfig::online(self.config.solver_time_limit)
+        };
+        base.with_rel_gap(self.config.solver_gap)
             .with_audit(self.config.certify_solves)
     }
 
@@ -325,6 +342,12 @@ impl TetriSched {
         solve_span.arg("bb_nodes_pruned", sol.stats.nodes_pruned as u64);
         drop(solve_span);
         account_solve(ctx.telemetry, d, &sol.stats, self.config.warm_start);
+        if self.anytime_mode && sol.status == SolveStatus::Feasible {
+            // The anytime rung's contract: the budget expired, and the
+            // solver handed back its best incumbent together with the
+            // dual bound (and, under audit, a feasibility certificate).
+            d.anytime_incumbents += 1;
+        }
         if sol.stats.presolve_certified {
             d.lint_presolve_rejections += 1;
         }
@@ -653,6 +676,64 @@ impl TetriSched {
             .observe_wall("phase.greedy_secs", t_greedy.elapsed().as_secs_f64());
     }
 
+    /// Runs one cycle at the governor's current ladder rung, replacing
+    /// the binary global-or-greedy cliff with graceful degradation:
+    ///
+    /// - **Full** — the ordinary global MILP over the whole window.
+    /// - **ReducedHorizon** — the global MILP with a shrunken plan-ahead
+    ///   window, trading deferred-placement foresight for a smaller model.
+    /// - **Anytime** — an incumbent-only solve under a tight node budget;
+    ///   the budget-expired incumbent is used *with* its dual bound and
+    ///   (under audit) its certificate.
+    /// - **Greedy** — job-at-a-time placement, the old fallback floor.
+    ///
+    /// A rung whose primary path fails outright still falls through to
+    /// greedy *within* the cycle, exactly as the binary watchdog did; the
+    /// failure then votes for a demotion at the next hysteresis window.
+    /// The cycle's deterministic solver work (branch-and-bound nodes +
+    /// simplex iterations) feeds back into the governor, never wall-clock
+    /// time, so rung trajectories replay identically under the same seed.
+    fn cycle_ladder(
+        &mut self,
+        ctx: &CycleContext<'_>,
+        view: &Ledger,
+        batch: &[&PendingJob],
+        d: &mut CycleDecisions,
+    ) {
+        let rung = self.governor.rung();
+        self.governor.stamp(d);
+        let primary_ok = match rung {
+            LadderRung::Full => self.cycle_global(ctx, view, batch, d),
+            LadderRung::ReducedHorizon => {
+                let saved = self.config.plan_ahead;
+                self.config.plan_ahead = self
+                    .governor
+                    .reduced_horizon(saved, self.config.cycle_period);
+                let ok = self.cycle_global(ctx, view, batch, d);
+                self.config.plan_ahead = saved;
+                ok
+            }
+            LadderRung::Anytime => {
+                self.anytime_mode = true;
+                let ok = self.cycle_global(ctx, view, batch, d);
+                self.anytime_mode = false;
+                ok
+            }
+            LadderRung::Greedy => {
+                // The floor rung runs the fallback placer by design; the
+                // cycle is degraded but deliberate.
+                d.degraded = true;
+                self.cycle_greedy(ctx, view, batch, d);
+                true
+            }
+        };
+        if !primary_ok {
+            d.degraded = true;
+            self.cycle_greedy(ctx, view, batch, d);
+        }
+        self.governor.observe(d.solver_work_units, !primary_ok);
+    }
+
     /// Opt-in extension (the paper's stated future work, Sec. 7.2):
     /// preempt best-effort gangs when an *urgent* accepted-SLO job — one
     /// that must start within the next cycle to meet its deadline — was
@@ -792,13 +873,22 @@ impl Scheduler for TetriSched {
         ctx.telemetry
             .observe_wall("phase.collect_secs", t_collect.elapsed().as_secs_f64());
         if batch.is_empty() {
+            if self.config.global && self.governor.enabled() {
+                // An idle cycle is a vote of confidence: zero solver work
+                // lets the governor climb back toward the full MILP.
+                self.governor.stamp(&mut d);
+                self.governor.observe(0, false);
+            }
             return d;
         }
         if self.config.global {
-            if !self.cycle_global(ctx, &view, &batch, &mut d) {
-                // Solver watchdog: the global MILP failed this cycle.
-                // Degrade to greedy job-at-a-time placement so the cluster
-                // keeps moving instead of idling until the next cycle.
+            if self.governor.enabled() {
+                self.cycle_ladder(ctx, &view, &batch, &mut d);
+            } else if !self.cycle_global(ctx, &view, &batch, &mut d) {
+                // Solver watchdog (pre-ladder binary fallback): the global
+                // MILP failed this cycle. Degrade to greedy job-at-a-time
+                // placement so the cluster keeps moving instead of idling
+                // until the next cycle.
                 d.degraded = true;
                 self.cycle_greedy(ctx, &view, &batch, &mut d);
             }
@@ -850,6 +940,9 @@ fn account_solve(
     stats: &tetrisched_milp::SolverStats,
     warm_configured: bool,
 ) {
+    // The ladder governor's deterministic load signal: solver work in
+    // branch-and-bound nodes + simplex iterations (never wall-clock).
+    d.solver_work_units += stats.nodes as u64 + stats.lp_iterations as u64;
     telemetry.counter_add("milp.lp_iterations", stats.lp_iterations as u64);
     telemetry.counter_add("milp.lp_solves", stats.lp_solves as u64);
     telemetry.counter_add("milp.refactorizations", stats.refactorizations as u64);
@@ -1418,6 +1511,113 @@ mod tests {
         );
         assert_eq!(report.metrics.certificates_verified, 0);
         assert_eq!(report.metrics.certificate_failures, 0);
+    }
+
+    #[test]
+    fn ladder_demotes_under_chaos_and_recovers() {
+        // The ladder replaces the binary cliff: a chaos-failed global
+        // solve degrades that one cycle to greedy *and* votes the
+        // governor down one rung (reduced horizon, not straight to
+        // greedy). Idle under-budget cycles then promote back to Full.
+        use crate::governor::GovernorConfig;
+        let mut cfg = TetriSchedConfig::full(16);
+        cfg.chaos_global_solve_failures = vec![1];
+        cfg.governor = GovernorConfig {
+            work_budget: 1_000_000,
+            promote_streak: 2,
+            hysteresis_cycles: 2,
+            ..GovernorConfig::defaults()
+        };
+        let report = run(
+            Cluster::uniform(1, 4, 0),
+            cfg,
+            vec![
+                job(0, 0, JobType::Unconstrained, 4, 10, 1.0, None),
+                job(1, 24, JobType::Unconstrained, 4, 10, 1.0, None),
+                job(2, 48, JobType::Unconstrained, 4, 10, 1.0, None),
+            ],
+        );
+        assert_eq!(report.metrics.be_completed, 3);
+        assert_eq!(report.metrics.degraded_cycles, 1, "only the chaos cycle");
+        assert_eq!(
+            report.metrics.ladder_rung, 1,
+            "demotion stops at reduced horizon, not greedy"
+        );
+        // The rung trajectory is visible in the trace: down to 1, back to 0.
+        let rungs: Vec<u8> = report
+            .trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                tetrisched_sim::TraceEvent::LadderRung { rung, .. } => Some(*rung),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rungs, vec![1, 0], "engage then recover");
+    }
+
+    #[test]
+    fn ladder_descends_to_greedy_floor_under_zero_budget() {
+        // A zero work budget makes every non-idle cycle over budget: the
+        // ladder must walk down one rung at a time — full, reduced
+        // horizon, anytime, greedy — with every non-greedy solve still
+        // carrying a verified certificate, and no work lost on the way.
+        use crate::governor::GovernorConfig;
+        let mut cfg = TetriSchedConfig::full(16);
+        cfg.certify_solves = true;
+        cfg.governor = GovernorConfig {
+            work_budget: 0,
+            promote_streak: 100, // never recover in this test
+            hysteresis_cycles: 0,
+            ..GovernorConfig::defaults()
+        };
+        let report = run(
+            Cluster::uniform(1, 4, 0),
+            cfg,
+            vec![
+                job(0, 0, JobType::Unconstrained, 4, 10, 1.0, None),
+                job(1, 12, JobType::Unconstrained, 4, 10, 1.0, None),
+                job(2, 24, JobType::Unconstrained, 4, 10, 1.0, None),
+                job(3, 36, JobType::Unconstrained, 4, 10, 1.0, None),
+            ],
+        );
+        assert_eq!(report.metrics.be_completed, 4, "{:?}", report.outcomes);
+        assert_eq!(report.metrics.ladder_rung, 3, "reached the greedy floor");
+        assert_eq!(report.metrics.certificate_failures, 0);
+        assert!(report.metrics.certificates_verified > 0);
+        // The greedy-floor cycles are degraded by design; the anytime and
+        // reduced-horizon cycles are not.
+        assert!(report.metrics.degraded_cycles >= 1);
+    }
+
+    #[test]
+    fn ladder_binary_mode_reproduces_the_cliff() {
+        // Binary mode under the same governor signal collapses the ladder
+        // to {full, greedy}: the first demotion lands on the floor.
+        use crate::governor::GovernorConfig;
+        let mut cfg = TetriSchedConfig::full(16);
+        cfg.governor = GovernorConfig {
+            work_budget: 0,
+            promote_streak: 100,
+            hysteresis_cycles: 0,
+            binary: true,
+            ..GovernorConfig::defaults()
+        };
+        let report = run(
+            Cluster::uniform(1, 4, 0),
+            cfg,
+            vec![
+                job(0, 0, JobType::Unconstrained, 4, 10, 1.0, None),
+                job(1, 12, JobType::Unconstrained, 4, 10, 1.0, None),
+            ],
+        );
+        assert_eq!(report.metrics.be_completed, 2);
+        assert_eq!(report.metrics.ladder_rung, 3);
+        // No intermediate rung ever appears in the trace.
+        assert!(report.trace.events().iter().all(|e| !matches!(
+            e,
+            tetrisched_sim::TraceEvent::LadderRung { rung: 1 | 2, .. }
+        )));
     }
 
     #[test]

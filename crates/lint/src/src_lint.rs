@@ -31,6 +31,12 @@
 //!   single-threaded and driven by the engine's virtual clock, which is
 //!   what makes same-seed service-mode runs byte-identical. Like `L005`
 //!   this rule has no allowlist.
+//! - `L007` — the degradation ladder's rung is owned by `core::governor`:
+//!   no non-test line in the core crate outside `governor.rs` may mention
+//!   `ladder_rung` at all. Scheduler code reads the rung through
+//!   `Governor::rung()` and publishes it through `Governor::stamp()`, so
+//!   the hysteresis state machine is the *only* writer and the no-flap
+//!   property proven for the governor holds for the whole scheduler.
 //!
 //! Test modules (`#[cfg(test)]` and beyond), `tests/`/`benches/` trees, and
 //! comment lines are exempt from the `.rs` rules. The scan is line-based
@@ -107,6 +113,16 @@ const STD_TIME_PATTERN: &str = concat!("std::", "time");
 /// allowlist.
 const SINGLE_THREADED_PREFIXES: [&str; 1] = ["crates/service/src/"];
 
+/// The ladder-rung needle for `L007` (assembled so this file does not
+/// match itself).
+const LADDER_RUNG_PATTERN: &str = concat!("ladder", "_rung");
+
+/// The crate subtree `L007` guards and the single file inside it allowed
+/// to touch the rung: the governor, whose hysteresis state machine is the
+/// one authorized writer.
+const LADDER_GUARDED_PREFIX: &str = "crates/core/src/";
+const LADDER_OWNER_FILE: &str = "crates/core/src/governor.rs";
+
 /// Threading/channel/synchronization needles for `L006`.
 const THREADING_PATTERNS: [&str; 6] = [
     concat!("std::", "thread"),
@@ -180,6 +196,7 @@ fn lint_rust_file(rel: &str, path: &Path, report: &mut SrcLintReport) -> io::Res
         .any(|p| rel.starts_with(p))
         && !HASH_COLLECTION_ALLOWLIST.contains(&rel);
     let clock_injected = CLOCK_INJECTED_PREFIXES.iter().any(|p| rel.starts_with(p));
+    let ladder_guarded = rel.starts_with(LADDER_GUARDED_PREFIX) && rel != LADDER_OWNER_FILE;
     let single_threaded = SINGLE_THREADED_PREFIXES.iter().any(|p| rel.starts_with(p));
     for (i, line) in text.lines().enumerate() {
         // Everything from the first test-module marker on is test code.
@@ -265,6 +282,16 @@ fn lint_rust_file(rel: &str, path: &Path, report: &mut SrcLintReport) -> io::Res
                     ));
                 }
             }
+        }
+        if ladder_guarded && trimmed.contains(LADDER_RUNG_PATTERN) {
+            report.diagnostics.push(Diagnostic::new(
+                "L007",
+                Severity::Error,
+                "ladder-rung access outside `core::governor`: the rung transitions \
+                 only through the governor's hysteresis state machine (read it via \
+                 `Governor::rung()`, publish it via `Governor::stamp()`)",
+                format!("{rel}:{lineno}"),
+            ));
         }
         if hash_checked {
             for pat in HASH_COLLECTION_PATTERNS {
@@ -461,6 +488,33 @@ mod tests {
             "expected L006 on channels, threads, locks, and clocks, got {:?}",
             report.diagnostics
         );
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn l007_flags_rung_writes_outside_the_governor() {
+        let dir = std::env::temp_dir().join(format!("srclint-l007-{}", std::process::id()));
+        let src = dir.join("crates/core/src");
+        fs::create_dir_all(&src).expect("temp tree");
+        // The governor may name the rung; the scheduler may not.
+        fs::write(
+            src.join("governor.rs"),
+            concat!("pub fn stamp(d: &mut D) { d.ladder", "_rung = 1; }\n"),
+        )
+        .expect("write fixture");
+        fs::write(
+            src.join("scheduler.rs"),
+            concat!("fn sneak(d: &mut D) { d.ladder", "_rung = 3; }\n"),
+        )
+        .expect("write fixture");
+        let report = lint_workspace(&dir).expect("scan");
+        let l007: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "L007")
+            .collect();
+        assert_eq!(l007.len(), 1, "exactly the scheduler line: {l007:?}");
+        assert!(l007[0].context.contains("scheduler.rs"));
         fs::remove_dir_all(&dir).expect("cleanup");
     }
 

@@ -725,6 +725,36 @@ mod tests {
     }
 
     #[test]
+    fn anytime_budget_expiry_returns_certified_incumbent_with_bound() {
+        // The degradation ladder's anytime rung: a one-node budget stops
+        // the search almost immediately, yet the solve must still return
+        // a feasible incumbent together with its dual bound and — under
+        // audit — a verified proof-carrying certificate.
+        let mut m = Model::maximize();
+        let vars: Vec<_> = (0..20)
+            .map(|i| m.add_binary(format!("x{i}"), 1.0 + (i % 3) as f64))
+            .collect();
+        m.add_constraint(
+            "c",
+            vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(),
+            Sense::Le,
+            10.0,
+        );
+        let cfg = SolverConfig::anytime(Duration::from_millis(50), 1).with_audit(true);
+        let sol = m.solve(&cfg).unwrap();
+        assert!(sol.status.has_solution());
+        assert!(m.is_feasible(&sol.values, 1e-6));
+        assert!(
+            sol.stats.best_bound >= sol.objective - 1e-6,
+            "incumbent {} must carry a dominating bound {}",
+            sol.objective,
+            sol.stats.best_bound
+        );
+        assert!(sol.stats.certificates_verified > 0);
+        assert_eq!(sol.stats.certificate_failures, 0);
+    }
+
+    #[test]
     fn time_limit_zero_with_dive_incumbent() {
         let mut m = Model::maximize();
         let x = m.add_binary("x", 1.0);

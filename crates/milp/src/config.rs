@@ -64,6 +64,23 @@ impl SolverConfig {
         Self::default()
     }
 
+    /// Incumbent-only anytime configuration: a very tight branch-and-bound
+    /// node budget with root diving forced on, so the solver almost always
+    /// stops on its budget and returns the best incumbent found so far
+    /// *with* its `best_bound` (and, under audit, a feasibility
+    /// certificate). Used by the degradation ladder's anytime rung: the
+    /// caller trades the optimality proof for a bounded, predictable
+    /// amount of solver work.
+    pub fn anytime(time_limit: Duration, node_limit: usize) -> Self {
+        Self {
+            rel_gap: 0.10,
+            time_limit,
+            node_limit: node_limit.max(1),
+            enable_diving: true,
+            ..Self::default()
+        }
+    }
+
     /// Builder-style setter for the relative gap.
     pub fn with_rel_gap(mut self, gap: f64) -> Self {
         self.rel_gap = gap;
@@ -98,6 +115,16 @@ mod tests {
         let c = SolverConfig::online(Duration::from_secs(2));
         assert_eq!(c.rel_gap, 0.10);
         assert_eq!(c.time_limit, Duration::from_secs(2));
+    }
+
+    #[test]
+    fn anytime_config_is_tightly_budgeted() {
+        let c = SolverConfig::anytime(Duration::from_millis(50), 64);
+        assert_eq!(c.node_limit, 64);
+        assert!(c.enable_diving, "anytime needs the dive for an incumbent");
+        assert_eq!(c.rel_gap, 0.10);
+        // A zero node budget is clamped so the root node always runs.
+        assert_eq!(SolverConfig::anytime(Duration::ZERO, 0).node_limit, 1);
     }
 
     #[test]

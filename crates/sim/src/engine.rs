@@ -14,10 +14,11 @@ use tetrisched_strl::{Atom, JobClass, Window};
 use tetrisched_telemetry::{Telemetry, TelemetryConfig};
 
 use crate::event::{EventKind, EventQueue};
-use crate::fault::{FaultPlan, RetryPolicy};
+use crate::fault::{FaultPlan, PerfFaultPlan, PerfFaultWindow, RetryPolicy};
 use crate::job::{JobId, JobOutcome, JobSpec};
 use crate::metrics::Metrics;
 use crate::scheduler::{CycleContext, CycleError, PendingJob, RunningJob, Scheduler};
+use crate::straggler::{detect_stragglers, StragglerConfig};
 use crate::trace::{TraceEvent, TraceLog, DEFAULT_TRACE_CAPACITY};
 use crate::Time;
 
@@ -32,6 +33,16 @@ pub struct SimConfig {
     pub trace: bool,
     /// Node failure/repair transitions to replay (empty = healthy run).
     pub faults: FaultPlan,
+    /// Performance-fault windows to replay (empty = full-speed run):
+    /// nodes stay up but run slower, stretching in-flight work
+    /// deterministically. Announced windows (scripted maintenance) are
+    /// registered with the ledger's [`tetrisched_cluster::NodeHealth`] so
+    /// plan-ahead schedules around them.
+    pub perf_faults: PerfFaultPlan,
+    /// Straggler detection and speculative migration (disabled by
+    /// default; a disabled config reproduces pre-straggler runs
+    /// byte-for-byte).
+    pub stragglers: StragglerConfig,
     /// Backoff and budget applied to jobs evicted by node failures.
     pub retry: RetryPolicy,
     /// When set, the ledger conservation invariant
@@ -60,6 +71,8 @@ impl Default for SimConfig {
             horizon: None,
             trace: false,
             faults: FaultPlan::none(),
+            perf_faults: PerfFaultPlan::none(),
+            stragglers: StragglerConfig::disabled(),
             retry: RetryPolicy::default(),
             strict_accounting: false,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
@@ -117,6 +130,25 @@ struct JobRecord {
     /// Fault-eviction retries consumed so far.
     retries: u32,
     outcome: Option<JobOutcome>,
+    /// Fraction of the job's total work completed so far (the gang's
+    /// progress watermark). Preserved across speculative migrations;
+    /// reset to 0 by fail-stop evictions and preemptions, which lose all
+    /// progress.
+    watermark: f64,
+    /// Simulated time of the last watermark rebase (work between
+    /// `progress_at` and now accrued at rate `1 / (run_total * run_mult)`
+    /// per second).
+    progress_at: Time,
+    /// Runtime multiplier of the current run: the max node-health factor
+    /// over the gang (a gang is as slow as its slowest member). 1.0 on a
+    /// healthy placement.
+    run_mult: f64,
+    /// True runtime of the current placement at nominal speed, as f64 for
+    /// watermark arithmetic.
+    run_total: f64,
+    /// Speculative migrations consumed so far (bounded by
+    /// [`StragglerConfig::max_migrations_per_job`]).
+    migrations: u32,
 }
 
 /// The simulator: owns the cluster state, the reservation system, the event
@@ -125,6 +157,8 @@ pub struct Simulator<S: Scheduler> {
     cluster: Cluster,
     scheduler: S,
     config: SimConfig,
+    /// Ladder rung reported by the previous cycle, for change tracking.
+    last_rung: u8,
 }
 
 impl<S: Scheduler> Simulator<S> {
@@ -134,6 +168,7 @@ impl<S: Scheduler> Simulator<S> {
             cluster,
             scheduler,
             config,
+            last_rung: 0,
         }
     }
 
@@ -165,6 +200,11 @@ impl<S: Scheduler> Simulator<S> {
                     generation: 0,
                     retries: 0,
                     outcome: None,
+                    watermark: 0.0,
+                    progress_at: 0,
+                    run_mult: 1.0,
+                    run_total: 0.0,
+                    migrations: 0,
                 },
             );
         }
@@ -192,6 +232,28 @@ impl<S: Scheduler> Simulator<S> {
         // pool only when every overlapping outage has ended.
         let mut down_depth: Vec<u32> = vec![0; num_nodes];
         let mut down_since: Vec<Option<Time>> = vec![None; num_nodes];
+
+        // Replay the performance-fault plan: each window becomes a
+        // start/end event pair, and announced windows (scripted
+        // maintenance) are registered with the ledger up front so
+        // plan-ahead anticipates them. Overlapping windows on one node
+        // compose by max: the node runs at the worst active factor.
+        if let Some(max) = self.config.perf_faults.max_node() {
+            assert!(
+                max.index() < num_nodes,
+                "perf-fault plan touches node {max} but the cluster has {num_nodes} nodes"
+            );
+        }
+        let perf_windows: Vec<PerfFaultWindow> = self.config.perf_faults.windows().to_vec();
+        for (ix, w) in perf_windows.iter().enumerate() {
+            queue.push(w.start, EventKind::PerfFaultStart { ix });
+            queue.push(w.end, EventKind::PerfFaultEnd { ix });
+            if w.announced {
+                ledger.health_mut().announce(w.node, w.start, w.end);
+            }
+        }
+        let mut active_perf: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
+        let mut perf_faulted: Vec<bool> = vec![false; num_nodes];
 
         let mut now: Time = 0;
         while let Some(ev) = queue.pop() {
@@ -297,6 +359,10 @@ impl<S: Scheduler> Simulator<S> {
                         ledger.release(handle).expect("ledger release on eviction");
                         rec.generation += 1;
                         rec.retries += 1;
+                        // Fail-stop evictions lose all progress (unlike
+                        // speculative migrations, which preserve it).
+                        rec.watermark = 0.0;
+                        rec.run_mult = 1.0;
                         metrics.evictions += 1;
                         trace.record(TraceEvent::Evicted {
                             job,
@@ -338,6 +404,38 @@ impl<S: Scheduler> Simulator<S> {
                         trace.record(TraceEvent::NodeUp { node, at: now });
                     }
                 }
+                EventKind::PerfFaultStart { ix } => {
+                    let w = perf_windows[ix];
+                    let nix = w.node.index();
+                    active_perf[nix].push(ix);
+                    if !perf_faulted[nix] {
+                        perf_faulted[nix] = true;
+                        metrics.perf_faulted_nodes += 1;
+                    }
+                    let factor = node_perf_factor(&perf_windows, &active_perf[nix]);
+                    ledger.health_mut().set_factor(w.node, factor);
+                    telemetry.counter_add("degraded.perf_fault_windows", 1);
+                    trace.record(TraceEvent::PerfDegraded {
+                        node: w.node,
+                        factor_pct: (factor * 100.0).round() as u32,
+                        at: now,
+                    });
+                    retime_gang_on(w.node, now, &mut records, &ledger, &mut queue, &mut trace);
+                }
+                EventKind::PerfFaultEnd { ix } => {
+                    let w = perf_windows[ix];
+                    let nix = w.node.index();
+                    active_perf[nix].retain(|&other| other != ix);
+                    let factor = node_perf_factor(&perf_windows, &active_perf[nix]);
+                    ledger.health_mut().set_factor(w.node, factor);
+                    if factor <= 1.0 {
+                        trace.record(TraceEvent::PerfRecovered {
+                            node: w.node,
+                            at: now,
+                        });
+                    }
+                    retime_gang_on(w.node, now, &mut records, &ledger, &mut queue, &mut trace);
+                }
                 EventKind::Resubmit { job } => {
                     let rec = records.get_mut(&job).expect("resubmit of unknown job");
                     // A Resubmit can only find the job in Backoff: evictions
@@ -351,13 +449,16 @@ impl<S: Scheduler> Simulator<S> {
                 EventKind::CycleTick => {
                     // Admission cycle first (open mode only): drain a batch
                     // of queued arrivals under backpressure, then shed the
-                    // excess past the queue-depth bound.
+                    // excess past the queue-depth bound. The previous
+                    // cycle's degradation-ladder rung tightens admission so
+                    // the service sheds earlier while the scheduler is
+                    // operating degraded (rung 0 is byte-identical).
                     if service.mode() == ServiceMode::Open {
                         let backlog = records
                             .values()
                             .filter(|r| matches!(r.state, JobState::Pending))
                             .count();
-                        let batch = service.drain_cycle(backlog);
+                        let batch = service.drain_cycle_with(backlog, self.last_rung);
                         for spec in batch.admitted {
                             let job = spec.id;
                             let weight = service.fair_share().weight(job.0);
@@ -460,6 +561,7 @@ impl<S: Scheduler> Simulator<S> {
         }
         metrics.trace_events_dropped = trace.dropped();
         telemetry.counter_add("sim.trace_events_dropped", trace.dropped());
+        telemetry.counter_add("degraded.perf_faulted_nodes", metrics.perf_faulted_nodes);
         // Service-core accounting: conserved (admitted + shed + backlog ==
         // arrivals) by construction; surfaced in metrics and telemetry so
         // open-loop overload behavior is observable.
@@ -506,6 +608,64 @@ impl<S: Scheduler> Simulator<S> {
         // phase spans nest under it), and decision application.
         let cycle_span = telemetry.span("sim", "cycle");
         cycle_span.arg("cycle", metrics.cycle_latency.count() as u64);
+
+        // Straggler defense: compare each running gang's observed runtime
+        // to its own estimate, flag the ones that have outgrown the cohort
+        // median, and speculatively migrate the worst offenders back
+        // through the normal placement path. Progress is preserved via the
+        // watermark; the stale completion dies by the same generation bump
+        // that guards fail-stop evictions.
+        if self.config.stragglers.enabled {
+            let mut cohort: Vec<(JobId, f64)> = Vec::new();
+            for rec in records.values() {
+                if let JobState::Running {
+                    started, preferred, ..
+                } = rec.state
+                {
+                    let est = rec.spec.estimated_runtime_for(preferred).max(1) as f64;
+                    cohort.push((rec.spec.id, now.saturating_sub(started) as f64 / est));
+                }
+            }
+            cohort.sort_by_key(|&(id, _)| id);
+            let flagged = detect_stragglers(&cohort, &self.config.stragglers);
+            metrics.stragglers_detected += flagged.len() as u64;
+            telemetry.counter_add("degraded.stragglers_detected", flagged.len() as u64);
+            let mut migrated = 0usize;
+            for job in flagged {
+                if migrated >= self.config.stragglers.max_migrations_per_cycle {
+                    break;
+                }
+                let rec = records.get_mut(&job).expect("flagged unknown job");
+                if rec.migrations >= self.config.stragglers.max_migrations_per_job {
+                    continue;
+                }
+                let (started, width) = match rec.state {
+                    JobState::Running {
+                        started, ref nodes, ..
+                    } => (started, nodes.len() as u64),
+                    _ => continue,
+                };
+                rebase_progress(rec, now);
+                metrics.busy_node_seconds += (now - started) * width;
+                ledger
+                    .release(AllocHandle(job.0))
+                    .expect("ledger release on migration");
+                rec.generation += 1;
+                rec.migrations += 1;
+                rec.state = JobState::Pending;
+                pending_order.push(job);
+                migrated += 1;
+                metrics.speculative_migrations += 1;
+                telemetry.counter_add("degraded.speculative_migrations", 1);
+                trace.record(TraceEvent::StragglerMigrated {
+                    job,
+                    watermark_pct: (rec.watermark * 100.0).round() as u32,
+                    at: now,
+                });
+                self.scheduler.on_evict(job, now);
+            }
+        }
+
         // Build the scheduler's views.
         pending_order.retain(|id| matches!(records[id].state, JobState::Pending));
         // Rebuild the fair-share book from ground truth each cycle (held
@@ -597,6 +757,22 @@ impl<S: Scheduler> Simulator<S> {
         metrics.warm_start_hits += decisions.warm_start_hits;
         metrics.warm_start_misses += decisions.warm_start_misses;
         metrics.presolve_reductions += decisions.presolve_reductions;
+        // Ladder accounting: rung changes are governed (and rate-limited)
+        // inside the scheduler; the engine only observes and records them.
+        metrics.ladder_rung = metrics.ladder_rung.max(u64::from(decisions.ladder_rung));
+        metrics.anytime_incumbents += decisions.anytime_incumbents;
+        telemetry.observe_sim("degraded.ladder_rung", f64::from(decisions.ladder_rung));
+        if decisions.anytime_incumbents > 0 {
+            telemetry.counter_add("degraded.anytime_incumbents", decisions.anytime_incumbents);
+        }
+        if decisions.ladder_rung != self.last_rung {
+            self.last_rung = decisions.ladder_rung;
+            telemetry.counter_add("degraded.ladder_rung_changes", 1);
+            trace.record(TraceEvent::LadderRung {
+                rung: decisions.ladder_rung,
+                at: now,
+            });
+        }
 
         // Surface degraded-mode signals: cycles report non-fatal errors
         // instead of panicking or silently dropping work.
@@ -636,6 +812,8 @@ impl<S: Scheduler> Simulator<S> {
             ledger.release(AllocHandle(job.0)).expect("ledger release");
             rec.generation += 1;
             rec.preemptions += 1;
+            rec.watermark = 0.0;
+            rec.run_mult = 1.0;
             rec.state = JobState::Pending;
             pending_order.push(job);
             metrics.preemptions += 1;
@@ -664,7 +842,18 @@ impl<S: Scheduler> Simulator<S> {
                 launch.job
             );
             let preferred = rec.spec.placement_preferred(&self.cluster, &launch.nodes);
-            let true_end = now + rec.spec.true_runtime_for(preferred);
+            // The gang runs at its slowest member's rate; a migrated job
+            // resumes from its preserved watermark. On the healthy,
+            // from-scratch path this reduces to the exact integer runtime.
+            let mult = gang_mult(ledger, &launch.nodes);
+            rec.run_total = rec.spec.true_runtime_for(preferred) as f64;
+            rec.run_mult = mult;
+            rec.progress_at = now;
+            let true_end = if rec.watermark == 0.0 && mult == 1.0 {
+                now + rec.spec.true_runtime_for(preferred)
+            } else {
+                now + remaining_runtime(rec)
+            };
             ledger
                 .allocate(
                     AllocHandle(launch.job.0),
@@ -777,9 +966,90 @@ fn event_counter(kind: &EventKind) -> &'static str {
         EventKind::Complete { .. } => "sim.events.complete",
         EventKind::NodeDown { .. } => "sim.events.node_down",
         EventKind::NodeUp { .. } => "sim.events.node_up",
+        EventKind::PerfFaultStart { .. } => "sim.events.perf_fault_start",
+        EventKind::PerfFaultEnd { .. } => "sim.events.perf_fault_end",
         EventKind::Resubmit { .. } => "sim.events.resubmit",
         EventKind::CycleTick => "sim.events.cycle_tick",
     }
+}
+
+/// A node's runtime multiplier under its currently active perf-fault
+/// windows: the max of their factors (worst wins), 1.0 when none.
+fn node_perf_factor(windows: &[PerfFaultWindow], active: &[usize]) -> f64 {
+    active
+        .iter()
+        .map(|&ix| windows[ix].kind.slow_factor())
+        .fold(1.0, f64::max)
+}
+
+/// The runtime multiplier a gang experiences on `nodes`: gang semantics
+/// make it as slow as its slowest member.
+fn gang_mult(ledger: &Ledger, nodes: &[NodeId]) -> f64 {
+    nodes
+        .iter()
+        .map(|&n| ledger.health().factor(n))
+        .fold(1.0, f64::max)
+}
+
+/// Accrues progress earned since the last rebase into the watermark at the
+/// run's current rate, and moves the rebase point to `now`.
+fn rebase_progress(rec: &mut JobRecord, now: Time) {
+    if matches!(rec.state, JobState::Running { .. }) && rec.run_total > 0.0 {
+        let elapsed = now.saturating_sub(rec.progress_at) as f64;
+        rec.watermark = (rec.watermark + elapsed / (rec.run_total * rec.run_mult)).min(1.0);
+        rec.progress_at = now;
+    }
+}
+
+/// Simulated seconds the current run still needs at its current rate
+/// (always at least 1 so a re-derived completion lands strictly in the
+/// future).
+fn remaining_runtime(rec: &JobRecord) -> u64 {
+    let remaining = (1.0 - rec.watermark).max(0.0) * rec.run_total * rec.run_mult;
+    (remaining.ceil() as u64).max(1)
+}
+
+/// Rebases the gang holding `node` (if any) onto the node-health rates in
+/// effect from `now` on: progress to date is preserved via the watermark,
+/// the queued completion is invalidated through the generation guard, and
+/// a fresh completion is queued at the re-derived end time.
+fn retime_gang_on(
+    node: NodeId,
+    now: Time,
+    records: &mut HashMap<JobId, JobRecord>,
+    ledger: &Ledger,
+    queue: &mut EventQueue,
+    trace: &mut TraceLog,
+) {
+    let Some(handle) = ledger.owner_of(node) else {
+        return;
+    };
+    let job = JobId(handle.0);
+    let rec = records
+        .get_mut(&job)
+        .expect("degraded node held by unknown job");
+    let mult = match rec.state {
+        JobState::Running { ref nodes, .. } => gang_mult(ledger, nodes),
+        _ => return,
+    };
+    if mult == rec.run_mult {
+        return;
+    }
+    rebase_progress(rec, now);
+    rec.run_mult = mult;
+    rec.generation += 1;
+    queue.push(
+        now + remaining_runtime(rec),
+        EventKind::Complete {
+            job,
+            generation: rec.generation,
+        },
+    );
+    trace.record(TraceEvent::GangRetimed {
+        job,
+        factor_pct: (mult * 100.0).round() as u32,
+        at: now,
+    });
 }
 
 #[cfg(test)]
@@ -1198,6 +1468,277 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e, TraceEvent::CycleDegraded { .. })));
+    }
+
+    fn slow_node_window(node: u32, at: Time, duration: Time, factor: f64) -> PerfFaultPlan {
+        PerfFaultPlan::from_script(
+            &Cluster::uniform(1, 4, 0),
+            &[crate::fault::PerfFaultScript {
+                at,
+                duration,
+                scope: crate::fault::FaultScope::Node(NodeId(node)),
+                kind: crate::fault::PerfFaultKind::SlowNode { factor },
+                announced: false,
+            }],
+        )
+    }
+
+    #[test]
+    fn perf_fault_stretches_runtime_from_launch() {
+        // Node 0 runs 2x slow for the whole run; a 1-wide 40s job launched
+        // on it takes 80s. Healthy runs of the same job take 40s.
+        let config = SimConfig {
+            perf_faults: slow_node_window(0, 0, 1000, 2.0),
+            strict_accounting: true,
+            trace: true,
+            ..SimConfig::default()
+        };
+        let report =
+            Simulator::new(Cluster::uniform(1, 4, 0), Fifo, config).run(vec![be_job(0, 0, 1, 40)]);
+        assert_eq!(report.outcomes[&JobId(0)].completion().unwrap(), 80);
+        assert_eq!(report.metrics.perf_faulted_nodes, 1);
+        assert!(report.trace.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::PerfDegraded {
+                factor_pct: 200,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn mid_run_perf_fault_rebases_progress() {
+        // A 40s job starts healthy; at t=20 (half done) its node drops to
+        // half speed until t=1000. The remaining half takes 40s: done at 60.
+        let config = SimConfig {
+            perf_faults: slow_node_window(0, 20, 980, 2.0),
+            strict_accounting: true,
+            trace: true,
+            ..SimConfig::default()
+        };
+        let report =
+            Simulator::new(Cluster::uniform(1, 4, 0), Fifo, config).run(vec![be_job(0, 0, 1, 40)]);
+        assert_eq!(report.outcomes[&JobId(0)].completion().unwrap(), 60);
+        assert!(report
+            .trace
+            .for_job(JobId(0))
+            .iter()
+            .any(|e| matches!(e, TraceEvent::GangRetimed { at: 20, .. })));
+    }
+
+    #[test]
+    fn perf_fault_recovery_rebases_again() {
+        // 40s job; node half-speed over [20, 40): 20s fast (half the work),
+        // 20s slow (a quarter), then the last quarter at full speed (10s).
+        let config = SimConfig {
+            perf_faults: slow_node_window(0, 20, 20, 2.0),
+            strict_accounting: true,
+            trace: true,
+            ..SimConfig::default()
+        };
+        let report =
+            Simulator::new(Cluster::uniform(1, 4, 0), Fifo, config).run(vec![be_job(0, 0, 1, 40)]);
+        assert_eq!(report.outcomes[&JobId(0)].completion().unwrap(), 50);
+        assert!(report.trace.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::PerfRecovered {
+                node: NodeId(0),
+                at: 40
+            }
+        )));
+        // The stale completions queued before each rebase must not fire.
+        let completions = report
+            .trace
+            .for_job(JobId(0))
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Completed { .. }))
+            .count();
+        assert_eq!(completions, 1);
+    }
+
+    #[test]
+    fn overlapping_perf_windows_compose_by_max() {
+        // Two windows on node 0: 2x over [0, 200) and 4x over [16, 48).
+        // A 32s job: 16s at 2x (8 units), 32s at 4x (8 units), then 2x
+        // again for the remaining 16 units -> 32s -> done at 80.
+        let cluster = Cluster::uniform(1, 4, 0);
+        let plan = slow_node_window(0, 0, 200, 2.0).merge(slow_node_window(0, 16, 32, 4.0));
+        let config = SimConfig {
+            perf_faults: plan,
+            strict_accounting: true,
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(cluster, Fifo, config).run(vec![be_job(0, 0, 1, 32)]);
+        assert_eq!(report.outcomes[&JobId(0)].completion().unwrap(), 80);
+        assert_eq!(report.metrics.perf_faulted_nodes, 1);
+    }
+
+    #[test]
+    fn gang_runs_at_slowest_member_rate() {
+        // A 2-wide gang with one member on the slow node is slowed whole.
+        let config = SimConfig {
+            perf_faults: slow_node_window(1, 0, 1000, 3.0),
+            strict_accounting: true,
+            ..SimConfig::default()
+        };
+        let report =
+            Simulator::new(Cluster::uniform(1, 4, 0), Fifo, config).run(vec![be_job(0, 0, 2, 20)]);
+        assert_eq!(report.outcomes[&JobId(0)].completion().unwrap(), 60);
+    }
+
+    #[test]
+    fn straggler_is_detected_and_migrated_with_progress_preserved() {
+        // Four 1-wide jobs; node 0 is 4x slow (unannounced), so job 0
+        // stretches from 20s to 80s while jobs 1-3 (100s) progress
+        // normally. Once job 0's lateness ratio crosses the detector
+        // threshold it is speculatively migrated. The only free node is
+        // node 0 again, so the migration is placement-neutral — which is
+        // exactly what makes it a progress-preservation test: completion
+        // stays at 80 (a progress-losing restart at t=32 would finish at
+        // 112).
+        let config = SimConfig {
+            perf_faults: slow_node_window(0, 0, 10_000, 4.0),
+            stragglers: StragglerConfig::defaults(),
+            strict_accounting: true,
+            trace: true,
+            ..SimConfig::default()
+        };
+        let jobs = vec![
+            be_job(0, 0, 1, 20),
+            be_job(1, 0, 1, 100),
+            be_job(2, 0, 1, 100),
+            be_job(3, 0, 1, 100),
+        ];
+        let report = Simulator::new(Cluster::uniform(1, 4, 0), Fifo, config).run(jobs);
+        assert_eq!(report.outcomes[&JobId(0)].completion().unwrap(), 80);
+        assert!(report.metrics.stragglers_detected >= 1);
+        assert!(report.metrics.speculative_migrations >= 1);
+        // The per-job budget bounds migrations.
+        assert!(report.metrics.speculative_migrations <= 2);
+        assert!(report
+            .trace
+            .for_job(JobId(0))
+            .iter()
+            .any(|e| matches!(e, TraceEvent::StragglerMigrated { .. })));
+        // Healthy cohort members were never flagged.
+        for id in 1..4 {
+            assert!(report
+                .trace
+                .for_job(JobId(id))
+                .iter()
+                .all(|e| !matches!(e, TraceEvent::StragglerMigrated { .. })));
+        }
+    }
+
+    #[test]
+    fn disabled_straggler_defense_never_migrates() {
+        let config = SimConfig {
+            perf_faults: slow_node_window(0, 0, 10_000, 4.0),
+            strict_accounting: true,
+            ..SimConfig::default()
+        };
+        let jobs = vec![
+            be_job(0, 0, 1, 20),
+            be_job(1, 0, 1, 100),
+            be_job(2, 0, 1, 100),
+            be_job(3, 0, 1, 100),
+        ];
+        let report = Simulator::new(Cluster::uniform(1, 4, 0), Fifo, config).run(jobs);
+        assert_eq!(report.metrics.stragglers_detected, 0);
+        assert_eq!(report.metrics.speculative_migrations, 0);
+        assert_eq!(report.outcomes[&JobId(0)].completion().unwrap(), 80);
+    }
+
+    #[test]
+    fn perf_fault_on_down_node_is_harmless() {
+        // Node 0 is down over [10, 50) and perf-degraded over [20, 30):
+        // the perf window finds no owner and the run proceeds normally.
+        let config = SimConfig {
+            faults: one_node_outage(10, 40, 0),
+            perf_faults: slow_node_window(0, 20, 10, 8.0),
+            strict_accounting: true,
+            trace: true,
+            ..SimConfig::default()
+        };
+        let report =
+            Simulator::new(Cluster::uniform(1, 4, 0), Fifo, config).run(vec![be_job(0, 0, 2, 100)]);
+        assert_eq!(report.metrics.be_completed, 1);
+        assert_eq!(report.metrics.perf_faulted_nodes, 1);
+    }
+
+    #[test]
+    fn announced_maintenance_registers_with_ledger_health() {
+        // An announced window is registered before the run starts; the
+        // ledger excludes the node from future availability (covered by
+        // cluster tests) and the engine still degrades it while active.
+        let cluster = Cluster::uniform(1, 4, 0);
+        let plan =
+            PerfFaultPlan::maintenance(&cluster, 50, 30, crate::fault::FaultScope::Node(NodeId(2)));
+        let config = SimConfig {
+            perf_faults: plan,
+            strict_accounting: true,
+            trace: true,
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(cluster, Fifo, config).run(vec![be_job(0, 0, 1, 200)]);
+        assert_eq!(report.metrics.be_completed, 1);
+        assert_eq!(report.metrics.perf_faulted_nodes, 1);
+        assert!(report.trace.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::PerfDegraded {
+                node: NodeId(2),
+                at: 50,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn ladder_rung_reports_thread_into_metrics_and_trace() {
+        /// Reports a rung sequence 0,2,2,1,... through CycleDecisions.
+        struct RungFifo {
+            cycles: u32,
+        }
+        impl Scheduler for RungFifo {
+            fn cycle(&mut self, ctx: &CycleContext<'_>) -> CycleDecisions {
+                let mut d = Fifo.cycle(ctx);
+                self.cycles += 1;
+                d.ladder_rung = match self.cycles {
+                    1 => 0,
+                    2 | 3 => 2,
+                    _ => 1,
+                };
+                if d.ladder_rung == 2 {
+                    d.anytime_incumbents = 1;
+                }
+                d
+            }
+            fn name(&self) -> &str {
+                "rung-fifo"
+            }
+        }
+        let report = Simulator::new(
+            Cluster::uniform(1, 4, 0),
+            RungFifo { cycles: 0 },
+            SimConfig {
+                trace: true,
+                ..SimConfig::default()
+            },
+        )
+        .run(vec![be_job(0, 0, 1, 20)]);
+        assert_eq!(report.metrics.ladder_rung, 2);
+        assert_eq!(report.metrics.anytime_incumbents, 2);
+        // Rung changes (0->2 at cycle 2, 2->1 at cycle 4) are traced.
+        let rung_events: Vec<u8> = report
+            .trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::LadderRung { rung, .. } => Some(*rung),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rung_events, vec![2, 1]);
     }
 
     #[test]

@@ -33,6 +33,19 @@ pub enum EventKind {
         /// Failed node.
         node: NodeId,
     },
+    /// A performance-fault window starts: the node stays up but slows, and
+    /// in-flight work on it is rebased to the new rate. `ix` indexes the
+    /// run's [`PerfFaultPlan`](crate::fault::PerfFaultPlan) windows.
+    PerfFaultStart {
+        /// Window index in the plan.
+        ix: usize,
+    },
+    /// A performance-fault window ends: the node's rate recovers (up to
+    /// other still-active windows on the same node).
+    PerfFaultEnd {
+        /// Window index in the plan.
+        ix: usize,
+    },
     /// A job arrives in the system.
     Submit {
         /// Arriving job.
@@ -54,9 +67,14 @@ impl EventKind {
             EventKind::Complete { .. } => 0,
             EventKind::NodeUp { .. } => 1,
             EventKind::NodeDown { .. } => 2,
-            EventKind::Submit { .. } => 3,
-            EventKind::Resubmit { .. } => 4,
-            EventKind::CycleTick => 5,
+            // Perf windows settle after fail-stop transitions (an ending
+            // window on a node that just died is a no-op) and before
+            // arrivals, so submissions and the cycle see final node rates.
+            EventKind::PerfFaultEnd { .. } => 3,
+            EventKind::PerfFaultStart { .. } => 4,
+            EventKind::Submit { .. } => 5,
+            EventKind::Resubmit { .. } => 6,
+            EventKind::CycleTick => 7,
         }
     }
 }
@@ -154,6 +172,8 @@ mod tests {
         q.push(5, EventKind::Submit { job: JobId(1) });
         q.push(5, EventKind::NodeDown { node: NodeId(0) });
         q.push(5, EventKind::NodeUp { node: NodeId(0) });
+        q.push(5, EventKind::PerfFaultStart { ix: 1 });
+        q.push(5, EventKind::PerfFaultEnd { ix: 0 });
         q.push(
             5,
             EventKind::Complete {
@@ -164,6 +184,14 @@ mod tests {
         assert!(matches!(q.pop().unwrap().kind, EventKind::Complete { .. }));
         assert!(matches!(q.pop().unwrap().kind, EventKind::NodeUp { .. }));
         assert!(matches!(q.pop().unwrap().kind, EventKind::NodeDown { .. }));
+        assert!(matches!(
+            q.pop().unwrap().kind,
+            EventKind::PerfFaultEnd { .. }
+        ));
+        assert!(matches!(
+            q.pop().unwrap().kind,
+            EventKind::PerfFaultStart { .. }
+        ));
         assert!(matches!(q.pop().unwrap().kind, EventKind::Submit { .. }));
         assert!(matches!(q.pop().unwrap().kind, EventKind::Resubmit { .. }));
         assert!(matches!(q.pop().unwrap().kind, EventKind::CycleTick));

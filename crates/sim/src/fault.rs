@@ -183,6 +183,211 @@ impl FaultPlan {
     }
 }
 
+/// What a performance fault does to its node while the window is active.
+///
+/// Unlike the fail-stop transitions above, a performance fault leaves the
+/// node *up* but degraded: work placed on it proceeds slower. Both kinds
+/// reduce to a single deterministic runtime multiplier so the engine can
+/// rebase in-flight progress exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PerfFaultKind {
+    /// Task runtimes on the node stretch by `factor` (slow disk, thermal
+    /// throttling, noisy neighbor). Factors below 1 are clamped to 1.
+    SlowNode { factor: f64 },
+    /// The node's effective capacity shrinks to `fraction` of nominal
+    /// (0 < fraction <= 1): work proceeds at `fraction` speed, i.e. a
+    /// runtime multiplier of `1 / fraction`.
+    DegradedCapacity { fraction: f64 },
+}
+
+impl PerfFaultKind {
+    /// The runtime multiplier this fault imposes while active (>= 1).
+    pub fn slow_factor(&self) -> f64 {
+        match *self {
+            PerfFaultKind::SlowNode { factor } => factor.max(1.0),
+            PerfFaultKind::DegradedCapacity { fraction } => 1.0 / fraction.clamp(0.01, 1.0),
+        }
+    }
+}
+
+/// One performance-degradation window on one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfFaultWindow {
+    /// Degradation start.
+    pub start: Time,
+    /// Degradation end (exclusive); the node recovers at `end`.
+    pub end: Time,
+    /// The affected node.
+    pub node: NodeId,
+    /// What the fault does while active.
+    pub kind: PerfFaultKind,
+    /// Whether the window is announced in advance (scripted maintenance):
+    /// announced windows are registered in the ledger's [`NodeHealth`]
+    /// before the run starts so plan-ahead can schedule around them.
+    /// Stochastic degradation is unannounced — the scheduler only sees its
+    /// effects.
+    ///
+    /// [`NodeHealth`]: tetrisched_cluster::NodeHealth
+    pub announced: bool,
+}
+
+/// Parameters for stochastic per-node performance degradation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfFaultConfig {
+    /// RNG seed; equal seeds yield identical plans. The stream is salted
+    /// differently from [`FaultConfig`] so perf and fail-stop plans built
+    /// from the same seed do not correlate.
+    pub seed: u64,
+    /// Mean time between degradation windows per node, in seconds.
+    pub mtbf: f64,
+    /// Mean window length, in seconds.
+    pub duration: f64,
+    /// Sampled slowdown factors are uniform in `[factor_min, factor_max]`.
+    pub factor_min: f64,
+    pub factor_max: f64,
+    /// Windows are generated in `[0, horizon)`.
+    pub horizon: Time,
+}
+
+/// One scripted degradation window (performance analogue of
+/// [`FaultScript`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfFaultScript {
+    /// Window start.
+    pub at: Time,
+    /// Window length; the node recovers at `at + duration`. Zero-length
+    /// windows are dropped.
+    pub duration: Time,
+    /// Affected nodes.
+    pub scope: FaultScope,
+    /// What the fault does while active.
+    pub kind: PerfFaultKind,
+    /// Whether plan-ahead is told about the window in advance (maintenance
+    /// announcements); see [`PerfFaultWindow::announced`].
+    pub announced: bool,
+}
+
+/// A pre-computed, deterministic set of performance-degradation windows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerfFaultPlan {
+    windows: Vec<PerfFaultWindow>,
+}
+
+/// Salt mixed into the per-node stream key so a perf plan and a fail-stop
+/// plan generated from the same seed stay independent.
+const PERF_STREAM_SALT: u64 = 0x05ca_1ab1_e0dd_ba11;
+
+impl PerfFaultPlan {
+    /// The empty plan: every node at full speed.
+    pub fn none() -> Self {
+        PerfFaultPlan::default()
+    }
+
+    /// Samples stochastic slow-node windows for every node of a
+    /// `num_nodes` cluster. Each node runs an independent renewal process
+    /// (healthy for `Exp(mtbf)`, degraded for `max(1, Exp(duration))`)
+    /// with its own RNG stream derived from the seed and node id, so node
+    /// `k`'s windows do not depend on cluster size.
+    pub fn generate(num_nodes: usize, config: &PerfFaultConfig) -> Self {
+        let mut windows = Vec::new();
+        for ix in 0..num_nodes {
+            let node = NodeId(ix as u32);
+            let mut rng =
+                SplitMix64::new(config.seed ^ splitmix_scramble(ix as u64 + 1) ^ PERF_STREAM_SALT);
+            let mut t = rng.sample_exp(config.mtbf);
+            while t < config.horizon as f64 {
+                let start = t as Time;
+                let end = start + (rng.sample_exp(config.duration) as Time).max(1);
+                let unit = rng.next_unit();
+                let factor =
+                    config.factor_min + (config.factor_max - config.factor_min) * (1.0 - unit);
+                windows.push(PerfFaultWindow {
+                    start,
+                    end: end.min(config.horizon),
+                    node,
+                    kind: PerfFaultKind::SlowNode { factor },
+                    announced: false,
+                });
+                t = end as f64 + rng.sample_exp(config.mtbf);
+            }
+        }
+        let mut plan = PerfFaultPlan { windows };
+        plan.normalize();
+        plan
+    }
+
+    /// Expands scripted degradation windows against a cluster topology.
+    pub fn from_script(cluster: &Cluster, scripts: &[PerfFaultScript]) -> Self {
+        let mut windows = Vec::new();
+        for s in scripts {
+            if s.duration == 0 {
+                continue;
+            }
+            let nodes: Vec<NodeId> = match &s.scope {
+                FaultScope::Node(n) => vec![*n],
+                FaultScope::Rack(r) => cluster.rack_nodes(*r).iter().collect(),
+                FaultScope::Nodes(ns) => ns.clone(),
+            };
+            for node in nodes {
+                windows.push(PerfFaultWindow {
+                    start: s.at,
+                    end: s.at + s.duration,
+                    node,
+                    kind: s.kind,
+                    announced: s.announced,
+                });
+            }
+        }
+        let mut plan = PerfFaultPlan { windows };
+        plan.normalize();
+        plan
+    }
+
+    /// An announced maintenance window: the nodes run at `fraction`
+    /// capacity during `[at, at + duration)` and plan-ahead is told in
+    /// advance (the window lands in the ledger's `NodeHealth`).
+    pub fn maintenance(cluster: &Cluster, at: Time, duration: Time, scope: FaultScope) -> Self {
+        PerfFaultPlan::from_script(
+            cluster,
+            &[PerfFaultScript {
+                at,
+                duration,
+                scope,
+                kind: PerfFaultKind::DegradedCapacity { fraction: 0.25 },
+                announced: true,
+            }],
+        )
+    }
+
+    /// Merges another plan into this one. Overlapping windows on the same
+    /// node are legal; the engine applies the *maximum* active slowdown.
+    pub fn merge(mut self, other: PerfFaultPlan) -> Self {
+        self.windows.extend(other.windows);
+        self.normalize();
+        self
+    }
+
+    /// The windows in deterministic order.
+    pub fn windows(&self) -> &[PerfFaultWindow] {
+        &self.windows
+    }
+
+    /// Whether the plan contains no windows.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Highest node index the plan touches, if any.
+    pub fn max_node(&self) -> Option<NodeId> {
+        self.windows.iter().map(|w| w.node).max()
+    }
+
+    fn normalize(&mut self) {
+        self.windows.retain(|w| w.end > w.start);
+        self.windows.sort_by_key(|w| (w.start, w.node, w.end));
+    }
+}
+
 /// Capped exponential backoff for evicted jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
@@ -430,5 +635,127 @@ mod tests {
             backoff_cap: 0,
         };
         assert_eq!(p.delay(1), 1);
+    }
+
+    fn perf_cfg(seed: u64) -> PerfFaultConfig {
+        PerfFaultConfig {
+            seed,
+            mtbf: 400.0,
+            duration: 80.0,
+            factor_min: 2.0,
+            factor_max: 6.0,
+            horizon: 10_000,
+        }
+    }
+
+    #[test]
+    fn perf_generate_is_deterministic() {
+        let a = PerfFaultPlan::generate(16, &perf_cfg(7));
+        let b = PerfFaultPlan::generate(16, &perf_cfg(7));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn perf_plan_independent_of_fail_stop_plan() {
+        // Same seed must not produce correlated timelines: the perf stream
+        // is salted. (If the salts matched, node 0's first perf window and
+        // first outage would start at the same instant.)
+        let perf = PerfFaultPlan::generate(8, &perf_cfg(7));
+        let stop = FaultPlan::generate(8, &cfg(7));
+        let first_perf = perf.windows().iter().find(|w| w.node == NodeId(0));
+        let first_stop = stop.events().iter().find(|e| e.node == NodeId(0));
+        if let (Some(w), Some(e)) = (first_perf, first_stop) {
+            assert_ne!(w.start, e.at);
+        }
+    }
+
+    #[test]
+    fn perf_windows_sorted_sane_and_within_horizon() {
+        let plan = PerfFaultPlan::generate(32, &perf_cfg(5));
+        let mut prev = 0;
+        for w in plan.windows() {
+            assert!(w.start >= prev);
+            assert!(w.end > w.start);
+            assert!(w.end <= 10_000);
+            assert!(w.kind.slow_factor() >= 2.0 && w.kind.slow_factor() <= 6.0);
+            prev = w.start;
+        }
+    }
+
+    #[test]
+    fn perf_stream_independent_of_cluster_size() {
+        let small = PerfFaultPlan::generate(8, &perf_cfg(3));
+        let big = PerfFaultPlan::generate(64, &perf_cfg(3));
+        let pick = |p: &PerfFaultPlan| -> Vec<PerfFaultWindow> {
+            p.windows()
+                .iter()
+                .copied()
+                .filter(|w| w.node == NodeId(3))
+                .collect()
+        };
+        assert_eq!(pick(&small), pick(&big));
+    }
+
+    #[test]
+    fn perf_script_expands_rack_and_keeps_announcement() {
+        let c = Cluster::uniform(2, 4, 0);
+        let plan = PerfFaultPlan::from_script(
+            &c,
+            &[PerfFaultScript {
+                at: 100,
+                duration: 50,
+                scope: FaultScope::Rack(RackId(0)),
+                kind: PerfFaultKind::SlowNode { factor: 4.0 },
+                announced: true,
+            }],
+        );
+        assert_eq!(plan.windows().len(), 4);
+        assert!(plan.windows().iter().all(|w| w.announced));
+        assert!(plan
+            .windows()
+            .iter()
+            .all(|w| w.start == 100 && w.end == 150));
+    }
+
+    #[test]
+    fn perf_zero_duration_script_dropped() {
+        let c = Cluster::uniform(1, 2, 0);
+        let plan = PerfFaultPlan::from_script(
+            &c,
+            &[PerfFaultScript {
+                at: 5,
+                duration: 0,
+                scope: FaultScope::Node(NodeId(0)),
+                kind: PerfFaultKind::SlowNode { factor: 2.0 },
+                announced: false,
+            }],
+        );
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn slow_factor_clamps() {
+        assert_eq!(PerfFaultKind::SlowNode { factor: 0.5 }.slow_factor(), 1.0);
+        assert_eq!(PerfFaultKind::SlowNode { factor: 3.0 }.slow_factor(), 3.0);
+        assert_eq!(
+            PerfFaultKind::DegradedCapacity { fraction: 0.5 }.slow_factor(),
+            2.0
+        );
+        // A zero fraction clamps instead of dividing by zero.
+        assert!(PerfFaultKind::DegradedCapacity { fraction: 0.0 }
+            .slow_factor()
+            .is_finite());
+    }
+
+    #[test]
+    fn maintenance_is_announced_capacity_window() {
+        let c = Cluster::uniform(1, 4, 0);
+        let plan = PerfFaultPlan::maintenance(&c, 200, 100, FaultScope::Node(NodeId(1)));
+        assert_eq!(plan.windows().len(), 1);
+        let w = plan.windows()[0];
+        assert!(w.announced);
+        assert!(matches!(w.kind, PerfFaultKind::DegradedCapacity { .. }));
+        assert_eq!((w.start, w.end), (200, 300));
     }
 }

@@ -26,15 +26,20 @@ pub mod gantt;
 pub mod job;
 pub mod metrics;
 pub mod scheduler;
+pub mod straggler;
 pub mod trace;
 
 pub use engine::{SimConfig, SimReport, Simulator};
-pub use fault::{FaultConfig, FaultEvent, FaultPlan, FaultScope, FaultScript, RetryPolicy};
+pub use fault::{
+    FaultConfig, FaultEvent, FaultPlan, FaultScope, FaultScript, PerfFaultConfig, PerfFaultKind,
+    PerfFaultPlan, PerfFaultScript, PerfFaultWindow, RetryPolicy,
+};
 pub use job::{JobId, JobOutcome, JobSpec, JobType};
 pub use metrics::{LatencyStats, Metrics};
 pub use scheduler::{
     CycleContext, CycleDecisions, CycleError, Launch, PendingJob, RunningJob, Scheduler,
 };
+pub use straggler::{detect_stragglers, StragglerConfig};
 pub use trace::{TraceEvent, TraceLog, DEFAULT_TRACE_CAPACITY};
 // Re-exported so engine embedders can configure and read telemetry without
 // naming the telemetry crate directly.

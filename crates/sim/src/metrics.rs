@@ -176,6 +176,23 @@ pub struct Metrics {
     pub jobs_deferred: u64,
     /// Intake-shard mailbox overflows (a subset of `jobs_shed`).
     pub intake_overflows: u64,
+    /// Distinct nodes that experienced at least one performance-fault
+    /// window (slow node, degraded capacity, or maintenance) during the
+    /// run.
+    pub perf_faulted_nodes: u64,
+    /// Straggler-detector flags raised across all cycles (a job can be
+    /// flagged in more than one cycle).
+    pub stragglers_detected: u64,
+    /// Speculative migrations actually performed (bounded by the per-cycle
+    /// and per-job migration caps, so at most `stragglers_detected`).
+    pub speculative_migrations: u64,
+    /// Highest degradation-ladder rung reached during the run (0 = every
+    /// cycle ran the full MILP path; see `core`'s ladder governor for the
+    /// rung encoding).
+    pub ladder_rung: u64,
+    /// Anytime solves that returned a budget-expired incumbent (with its
+    /// bound and certificate) instead of a proven-optimal solution.
+    pub anytime_incumbents: u64,
 }
 
 impl Metrics {

@@ -210,6 +210,20 @@ pub struct CycleDecisions {
     /// Presolve reductions (constraint rows dropped + variable bounds
     /// tightened) across this cycle's solves.
     pub presolve_reductions: usize,
+    /// Degradation-ladder rung the cycle ran at (0 = full MILP; higher
+    /// rungs trade solution quality for cycle budget). Schedulers without
+    /// a ladder leave it 0. In the TetriSched core this is stamped by the
+    /// ladder governor — never assigned directly (srclint L007).
+    pub ladder_rung: u8,
+    /// Solves this cycle that returned a budget-expired incumbent (with
+    /// its best bound and certificate) from the anytime rung.
+    pub anytime_incumbents: u64,
+    /// Deterministic solver work spent this cycle, in work units
+    /// (branch-and-bound nodes + simplex iterations across all solves).
+    /// This — not wall-clock time — is the load signal the ladder
+    /// governor consumes, so rung decisions replay identically under the
+    /// same seed on any machine.
+    pub solver_work_units: u64,
 }
 
 /// A pluggable cluster scheduler.

@@ -1,0 +1,165 @@
+//! Straggler detection: deterministic, cohort-relative.
+//!
+//! A straggler is a running gang whose observed runtime has outgrown its
+//! own estimate by more than the cluster-typical amount. Each running job
+//! carries a *lateness ratio* — elapsed wall time over estimated runtime
+//! for its placement — and the detector flags jobs whose ratio exceeds
+//! `threshold ×` the cohort median, subject to an absolute floor (so a
+//! job a few seconds late is never flagged) and a minimum cohort size
+//! (so a lone job cannot be a straggler relative to itself).
+//!
+//! The detector is a pure function of the ratios, so the same simulated
+//! state always flags the same jobs — no wall clock, no randomness. The
+//! engine responds by *speculatively migrating* flagged gangs: the gang
+//! is released (its progress watermark is preserved), re-enters the
+//! pending queue, and is re-placed through the normal STRL path, with the
+//! PR 2 generation guard invalidating the stale completion event.
+
+use crate::job::JobId;
+
+/// Knobs for the straggler defense. Disabled by default: detection and
+/// migration only run when explicitly enabled, so fault-free runs
+/// reproduce pre-straggler behavior byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Flag a job when `ratio > threshold * cohort_median`.
+    pub threshold: f64,
+    /// Never flag a job whose ratio is at or below this floor, regardless
+    /// of the median (protects against flagging in an all-healthy cohort
+    /// where the median is ~1).
+    pub min_ratio: f64,
+    /// Minimum number of running jobs before anyone can be flagged.
+    pub min_cohort: usize,
+    /// Speculative migrations performed per scheduling cycle (the rest of
+    /// the flagged jobs wait for the next cycle).
+    pub max_migrations_per_cycle: usize,
+    /// Lifetime migration budget per job; past it the job is left to
+    /// finish where it runs.
+    pub max_migrations_per_job: u32,
+}
+
+impl StragglerConfig {
+    /// Detection and migration off.
+    pub fn disabled() -> Self {
+        StragglerConfig {
+            enabled: false,
+            ..StragglerConfig::defaults()
+        }
+    }
+
+    /// Detection on with the default knobs: flag at 2× the cohort median,
+    /// 1.5× absolute floor, cohorts of 3+, one migration per cycle, two
+    /// per job.
+    pub fn defaults() -> Self {
+        StragglerConfig {
+            enabled: true,
+            threshold: 2.0,
+            min_ratio: 1.5,
+            min_cohort: 3,
+            max_migrations_per_cycle: 1,
+            max_migrations_per_job: 2,
+        }
+    }
+}
+
+impl Default for StragglerConfig {
+    fn default() -> Self {
+        StragglerConfig::disabled()
+    }
+}
+
+/// Flags stragglers in a cohort of `(job, lateness_ratio)` pairs.
+///
+/// Returns the flagged jobs ordered worst-first (highest ratio, ties by
+/// job id) so the caller can apply a per-cycle migration cap and always
+/// migrate the worst offender first.
+pub fn detect_stragglers(cohort: &[(JobId, f64)], config: &StragglerConfig) -> Vec<JobId> {
+    if !config.enabled || cohort.len() < config.min_cohort {
+        return Vec::new();
+    }
+    let mut ratios: Vec<f64> = cohort.iter().map(|&(_, r)| r).collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // Lower median: deterministic for even cohorts without averaging.
+    let median = ratios[(ratios.len() - 1) / 2];
+    let cutoff = config.threshold * median;
+    let mut flagged: Vec<(JobId, f64)> = cohort
+        .iter()
+        .copied()
+        .filter(|&(_, r)| r > cutoff && r > config.min_ratio)
+        .collect();
+    flagged.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    flagged.into_iter().map(|(id, _)| id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cohort(ratios: &[f64]) -> Vec<(JobId, f64)> {
+        ratios
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (JobId(i as u64), r))
+            .collect()
+    }
+
+    #[test]
+    fn disabled_flags_nothing() {
+        let c = cohort(&[1.0, 1.0, 10.0]);
+        assert!(detect_stragglers(&c, &StragglerConfig::disabled()).is_empty());
+    }
+
+    #[test]
+    fn flags_outlier_above_median_multiple() {
+        let c = cohort(&[1.0, 1.1, 0.9, 4.0]);
+        let flagged = detect_stragglers(&c, &StragglerConfig::defaults());
+        assert_eq!(flagged, vec![JobId(3)]);
+    }
+
+    #[test]
+    fn healthy_cohort_flags_nothing() {
+        let c = cohort(&[0.9, 1.0, 1.1, 1.05]);
+        assert!(detect_stragglers(&c, &StragglerConfig::defaults()).is_empty());
+    }
+
+    #[test]
+    fn small_cohort_flags_nothing() {
+        let c = cohort(&[1.0, 40.0]);
+        assert!(detect_stragglers(&c, &StragglerConfig::defaults()).is_empty());
+    }
+
+    #[test]
+    fn absolute_floor_guards_fast_cohorts() {
+        // Median 0.2: 3x the median is still a fast job; the floor keeps
+        // it unflagged.
+        let c = cohort(&[0.2, 0.2, 0.2, 0.7]);
+        assert!(detect_stragglers(&c, &StragglerConfig::defaults()).is_empty());
+    }
+
+    #[test]
+    fn worst_first_with_deterministic_ties() {
+        let c = vec![
+            (JobId(7), 1.0),
+            (JobId(3), 5.0),
+            (JobId(1), 5.0),
+            (JobId(0), 1.0),
+            (JobId(4), 0.9),
+            (JobId(9), 8.0),
+        ];
+        let flagged = detect_stragglers(&c, &StragglerConfig::defaults());
+        assert_eq!(flagged, vec![JobId(9), JobId(1), JobId(3)]);
+    }
+
+    #[test]
+    fn detection_is_pure() {
+        let c = cohort(&[1.0, 1.0, 1.0, 3.2, 6.0]);
+        let cfg = StragglerConfig::defaults();
+        assert_eq!(detect_stragglers(&c, &cfg), detect_stragglers(&c, &cfg));
+    }
+}

@@ -107,6 +107,53 @@ pub enum TraceEvent {
         /// Event time.
         at: Time,
     },
+    /// A performance-fault window began degrading a node (the node stays
+    /// up but runs slower).
+    PerfDegraded {
+        /// Degraded node.
+        node: NodeId,
+        /// New runtime multiplier, in percent (400 = work takes 4x).
+        factor_pct: u32,
+        /// Event time.
+        at: Time,
+    },
+    /// All performance-fault windows on a node ended; it runs at nominal
+    /// speed again.
+    PerfRecovered {
+        /// Recovered node.
+        node: NodeId,
+        /// Event time.
+        at: Time,
+    },
+    /// A running gang's completion was re-derived because the performance
+    /// of one of its nodes changed mid-run; progress to date is preserved.
+    GangRetimed {
+        /// Job identity.
+        job: JobId,
+        /// New gang runtime multiplier, in percent.
+        factor_pct: u32,
+        /// Event time.
+        at: Time,
+    },
+    /// The straggler defense speculatively migrated a running gang: its
+    /// nodes were released and it rejoined the pending queue with its
+    /// progress watermark intact.
+    StragglerMigrated {
+        /// Job identity.
+        job: JobId,
+        /// Progress watermark at migration, in percent of total work.
+        watermark_pct: u32,
+        /// Event time.
+        at: Time,
+    },
+    /// The degradation-ladder governor moved the scheduler to a new rung
+    /// (0 = full MILP ... highest = greedy).
+    LadderRung {
+        /// New rung.
+        rung: u8,
+        /// Event time.
+        at: Time,
+    },
 }
 
 impl TraceEvent {
@@ -124,7 +171,12 @@ impl TraceEvent {
             | TraceEvent::Resubmitted { at, .. }
             | TraceEvent::RetriesExhausted { at, .. }
             | TraceEvent::CycleDegraded { at, .. }
-            | TraceEvent::Shed { at, .. } => *at,
+            | TraceEvent::Shed { at, .. }
+            | TraceEvent::PerfDegraded { at, .. }
+            | TraceEvent::PerfRecovered { at, .. }
+            | TraceEvent::GangRetimed { at, .. }
+            | TraceEvent::StragglerMigrated { at, .. }
+            | TraceEvent::LadderRung { at, .. } => *at,
         }
     }
 
@@ -139,10 +191,15 @@ impl TraceEvent {
             | TraceEvent::Evicted { job, .. }
             | TraceEvent::Resubmitted { job, .. }
             | TraceEvent::RetriesExhausted { job, .. }
-            | TraceEvent::Shed { job, .. } => Some(*job),
+            | TraceEvent::Shed { job, .. }
+            | TraceEvent::GangRetimed { job, .. }
+            | TraceEvent::StragglerMigrated { job, .. } => Some(*job),
             TraceEvent::NodeDown { .. }
             | TraceEvent::NodeUp { .. }
-            | TraceEvent::CycleDegraded { .. } => None,
+            | TraceEvent::CycleDegraded { .. }
+            | TraceEvent::PerfDegraded { .. }
+            | TraceEvent::PerfRecovered { .. }
+            | TraceEvent::LadderRung { .. } => None,
         }
     }
 }

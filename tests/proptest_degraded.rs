@@ -1,0 +1,289 @@
+//! Property and golden tests for the degraded-operation layer:
+//!
+//! - same-seed runs under performance faults are byte-identical
+//!   (outcomes, metrics, and telemetry exports);
+//! - the degradation-ladder governor never flaps — no two rung changes
+//!   closer than its hysteresis window, under arbitrary load sequences;
+//! - straggler eviction and speculative re-placement preserve the
+//!   allocation ledger's conservation invariant;
+//! - a pure fail-stop `FaultPlan` (no perf faults, no straggler defense,
+//!   governor disabled) reproduces the pre-degraded-mode engine's golden
+//!   digests byte-for-byte.
+
+use proptest::prelude::*;
+use tetrisched::bench::{run_spec, RunSpec, SchedulerKind};
+use tetrisched::cluster::{Cluster, RackId};
+use tetrisched::core::{Governor, GovernorConfig, TetriSched, TetriSchedConfig};
+use tetrisched::sim::{
+    FaultConfig, FaultPlan, FaultScope, FaultScript, PerfFaultConfig, PerfFaultPlan, RetryPolicy,
+    SimConfig, SimReport, Simulator, StragglerConfig, TelemetryConfig,
+};
+use tetrisched::workloads::{GridmixConfig, Workload, WorkloadBuilder};
+
+fn arb_perf_config() -> impl Strategy<Value = PerfFaultConfig> {
+    (
+        0u64..1000,
+        100.0f64..1500.0,
+        20.0f64..200.0,
+        1.5f64..4.0,
+        300u64..1500,
+    )
+        .prop_map(|(seed, mtbf, duration, factor, horizon)| PerfFaultConfig {
+            seed,
+            mtbf,
+            duration,
+            factor_min: factor,
+            factor_max: factor + 2.0,
+            horizon,
+        })
+}
+
+/// A degraded-mode simulation: seeded perf faults, straggler defense on,
+/// governor enabled with a budget small enough to exercise the ladder.
+fn degraded_run(seed: u64, perf: &PerfFaultPlan) -> SimReport {
+    let cluster = Cluster::uniform(2, 4, 1);
+    let jobs = WorkloadBuilder::new(GridmixConfig {
+        seed,
+        num_jobs: 10,
+        cluster_size: cluster.num_nodes(),
+        target_utilization: 1.2,
+        estimate_error: 0.0,
+        error_jitter: 0.0,
+        slowdown: 1.5,
+    })
+    .with_estimate_error(Workload::GsMix, 0.0);
+    let mut cfg = TetriSchedConfig::full(8);
+    cfg.governor = GovernorConfig::defaults();
+    cfg.governor.work_budget = 500;
+    Simulator::new(
+        cluster,
+        TetriSched::new(cfg),
+        SimConfig {
+            trace: true,
+            strict_accounting: true,
+            perf_faults: perf.clone(),
+            stragglers: StragglerConfig::defaults(),
+            telemetry: TelemetryConfig::on(),
+            horizon: Some(100_000),
+            ..SimConfig::default()
+        },
+    )
+    .run(jobs)
+}
+
+proptest! {
+    // Whole simulations are costly; a handful of cases catches
+    // nondeterminism just as well as a thousand.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Same seed and perf-fault plan => byte-identical outcomes and
+    /// telemetry exports, run to run.
+    #[test]
+    fn perf_fault_runs_are_byte_identical(cfg in arb_perf_config(), seed in 0u64..500) {
+        let perf = PerfFaultPlan::generate(8, &cfg);
+        prop_assert_eq!(
+            PerfFaultPlan::generate(8, &cfg).windows(),
+            perf.windows(),
+            "perf-fault plan generation must be pure"
+        );
+        let (a, b) = (degraded_run(seed, &perf), degraded_run(seed, &perf));
+        prop_assert_eq!(&a.outcomes, &b.outcomes);
+        prop_assert_eq!(a.metrics.perf_faulted_nodes, b.metrics.perf_faulted_nodes);
+        prop_assert_eq!(a.metrics.stragglers_detected, b.metrics.stragglers_detected);
+        prop_assert_eq!(a.metrics.speculative_migrations, b.metrics.speculative_migrations);
+        prop_assert_eq!(a.metrics.ladder_rung, b.metrics.ladder_rung);
+        prop_assert_eq!(a.metrics.busy_node_seconds, b.metrics.busy_node_seconds);
+        prop_assert_eq!(a.end_time, b.end_time);
+        prop_assert_eq!(
+            a.telemetry.to_jsonl(false),
+            b.telemetry.to_jsonl(false),
+            "telemetry exports diverged"
+        );
+    }
+
+    /// Straggler detection and speculative re-placement never corrupt the
+    /// ledger: strict accounting validates conservation after every event,
+    /// every job still reaches a terminal state, and migrations never
+    /// exceed detections.
+    #[test]
+    fn straggler_migration_preserves_ledger_conservation(
+        cfg in arb_perf_config(),
+        seed in 0u64..500,
+    ) {
+        let perf = PerfFaultPlan::generate(8, &cfg);
+        let report = degraded_run(seed, &perf);
+        prop_assert_eq!(report.metrics.incomplete, 0, "every job terminal");
+        prop_assert!(
+            report.metrics.speculative_migrations <= report.metrics.stragglers_detected,
+            "migrations ({}) exceed detections ({})",
+            report.metrics.speculative_migrations,
+            report.metrics.stragglers_detected
+        );
+    }
+}
+
+fn arb_governor_config() -> impl Strategy<Value = GovernorConfig> {
+    (1u64..5000, 1u32..4, 1u32..8, proptest::bool::ANY).prop_map(
+        |(work_budget, promote_streak, hysteresis_cycles, binary)| GovernorConfig {
+            work_budget,
+            promote_streak,
+            hysteresis_cycles,
+            binary,
+            ..GovernorConfig::defaults()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Under arbitrary load sequences the ladder never flaps: between any
+    /// two rung changes there are at least `hysteresis_cycles`
+    /// observations, and binary mode only ever visits the top and bottom
+    /// rungs.
+    #[test]
+    fn ladder_never_flaps(
+        config in arb_governor_config(),
+        loads in proptest::collection::vec((0u64..10_000, proptest::bool::ANY), 1..200),
+    ) {
+        let binary = config.binary;
+        let hysteresis = config.hysteresis_cycles;
+        let mut governor = Governor::new(config);
+        let mut last_change: Option<usize> = None;
+        for (i, (work, failed)) in loads.iter().enumerate() {
+            let before = governor.rung();
+            governor.observe(*work, *failed);
+            let after = governor.rung();
+            if binary {
+                prop_assert!(
+                    after.as_u8() == 0 || after.as_u8() == 3,
+                    "binary mode visited intermediate rung {}",
+                    after.as_u8()
+                );
+            }
+            if after != before {
+                // One rung at a time, in either direction.
+                prop_assert_eq!(
+                    if binary { 3 } else { 1 },
+                    after.as_u8().abs_diff(before.as_u8()),
+                    "rung moved more than one step"
+                );
+                if let Some(prev) = last_change {
+                    prop_assert!(
+                        i - prev >= hysteresis as usize,
+                        "rung changed at observations {prev} and {i}, inside the \
+                         {hysteresis}-cycle hysteresis window"
+                    );
+                }
+                last_change = Some(i);
+            }
+        }
+    }
+}
+
+/// The fail-stop golden scenario from the node-churn robustness work:
+/// seeded MTBF/MTTR churn merged with a scripted rack outage. The solver's
+/// wall-clock time limit is raised far past what any solve here needs, so
+/// truncation can only happen on the deterministic node/gap criteria and
+/// the digests are identical across build profiles and machines.
+fn fail_stop_spec(workload: Workload, seed: u64) -> RunSpec {
+    let cluster = Cluster::uniform(2, 8, 1);
+    let generated = FaultPlan::generate(
+        cluster.num_nodes(),
+        &FaultConfig {
+            seed,
+            mtbf: 400.0,
+            mttr: 40.0,
+            horizon: 900,
+        },
+    );
+    let scripted = FaultPlan::from_script(
+        &cluster,
+        &[FaultScript {
+            at: 200,
+            duration: 80,
+            scope: FaultScope::Rack(RackId(1)),
+        }],
+    );
+    RunSpec {
+        workload,
+        cluster,
+        num_jobs: 24,
+        seed,
+        estimate_error: 0.0,
+        kind: {
+            let mut cfg = TetriSchedConfig::full(16);
+            cfg.solver_time_limit = std::time::Duration::from_secs(3600);
+            SchedulerKind::Tetri(cfg)
+        },
+        cycle_period: 4,
+        utilization: 1.0,
+        slowdown: 1.5,
+        faults: generated.merge(scripted),
+        retry: RetryPolicy::default(),
+        perf_faults: PerfFaultPlan::none(),
+        stragglers: StragglerConfig::disabled(),
+    }
+}
+
+fn fail_stop_digest(report: &SimReport) -> String {
+    let m = &report.metrics;
+    let lat_sum: f64 = m.be_latency.samples().iter().sum();
+    format!(
+        "slo={}/{} nores={}/{} be={}/{} lat={:.3} busy={} pre={} ab={} inc={} ev={} ret={} end={} cycles={}",
+        m.accepted_slo_met,
+        m.accepted_slo_total,
+        m.nores_slo_met,
+        m.nores_slo_total,
+        m.be_completed,
+        m.be_total,
+        lat_sum,
+        m.busy_node_seconds,
+        m.preemptions,
+        m.abandoned,
+        m.incomplete,
+        m.evictions,
+        m.retries,
+        report.end_time,
+        m.cycle_latency.count()
+    )
+}
+
+/// Golden digests captured from the engine immediately before the
+/// degraded-operation layer landed. A pure fail-stop fault plan — perf
+/// faults empty, straggler defense disabled, governor disabled — must
+/// reproduce them byte-for-byte: the watermark/progress machinery and the
+/// ladder may not perturb healthy or fail-stop-only runs.
+#[test]
+fn pure_fail_stop_plan_reproduces_pre_degraded_goldens() {
+    let goldens = [
+        (
+            Workload::GsMix,
+            3u64,
+            "slo=4/12 nores=0/3 be=9/9 lat=6516.000 busy=13268 pre=0 ab=11 inc=0 ev=31 ret=31 end=1234 cycles=309",
+        ),
+        (
+            Workload::GsMix,
+            11,
+            "slo=8/17 nores=0/1 be=6/6 lat=2785.000 busy=12668 pre=0 ab=10 inc=0 ev=29 ret=29 end=1208 cycles=302",
+        ),
+        (
+            Workload::GsHet,
+            3,
+            "slo=3/12 nores=0/3 be=9/9 lat=5908.000 busy=12348 pre=0 ab=12 inc=0 ev=31 ret=31 end=1118 cycles=280",
+        ),
+        (
+            Workload::GsHet,
+            11,
+            "slo=5/17 nores=0/1 be=6/6 lat=2277.000 busy=11032 pre=0 ab=13 inc=0 ev=26 ret=26 end=1292 cycles=323",
+        ),
+    ];
+    for (workload, seed, expected) in goldens {
+        let report = run_spec(&fail_stop_spec(workload, seed));
+        assert_eq!(
+            fail_stop_digest(&report),
+            expected,
+            "fail-stop divergence for {workload:?} seed {seed}"
+        );
+    }
+}

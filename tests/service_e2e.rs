@@ -20,8 +20,8 @@ use tetrisched::core::TetriSched;
 use tetrisched::core::TetriSchedConfig;
 use tetrisched::service::{AdmissionPolicy, FairShareConfig, ServiceConfig};
 use tetrisched::sim::{
-    FaultPlan, JobOutcome, RetryPolicy, SimConfig, SimReport, Simulator, TelemetryConfig,
-    TraceEvent,
+    FaultPlan, JobOutcome, PerfFaultPlan, RetryPolicy, SimConfig, SimReport, Simulator,
+    StragglerConfig, TelemetryConfig, TraceEvent,
 };
 use tetrisched::workloads::{GridmixConfig, OpenLoopConfig, OpenLoopDriver, Workload};
 
@@ -62,6 +62,8 @@ fn corpus_spec(workload: Workload, seed: u64) -> RunSpec {
         slowdown: 1.5,
         faults: FaultPlan::none(),
         retry: RetryPolicy::default(),
+        perf_faults: PerfFaultPlan::none(),
+        stragglers: StragglerConfig::disabled(),
     }
 }
 
