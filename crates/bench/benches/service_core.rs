@@ -1,6 +1,6 @@
-//! Service-core performance baseline (`BENCH_7.json`).
+//! Service-core performance baseline (`BENCH_8.json`).
 //!
-//! Four headline numbers, measured on the vendored criterion stub:
+//! Six headline numbers, measured on the vendored criterion stub:
 //!
 //! - **cycles/sec** — closed-loop simulated scheduler cycles completed per
 //!   wall second (whole-engine throughput including STRL generation,
@@ -11,7 +11,10 @@
 //!   can ingest and drain per wall second, isolated from the scheduler;
 //! - **degraded cycle p99 (ms)** — tail *simulated* cycle latency of the
 //!   same closed-loop run under scripted slow nodes with the straggler
-//!   defense and the degradation ladder enabled.
+//!   defense and the degradation ladder enabled;
+//! - **srclint ms / tokens-per-sec** — wall time and lexing throughput of
+//!   a full `srclint` workspace scan (`L001`–`L011`), the CI semantic-lint
+//!   job's runtime-budget guardrail.
 //!
 //! The intake figure was audited after `BENCH_6.json` reported ~89M
 //! jobs/sec: the arithmetic was sound (10k jobs over a ~112 µs mean is
@@ -21,7 +24,7 @@
 //! and the per-job cost in nanoseconds is reported alongside, which is the
 //! number that actually survives machine changes.
 //!
-//! The harness writes `BENCH_7.json` at the workspace root so the perf
+//! The harness writes `BENCH_8.json` at the workspace root so the perf
 //! trajectory has a committed baseline to diff against. Absolute numbers
 //! are machine-dependent; the file records shape and order of magnitude.
 
@@ -155,6 +158,29 @@ fn bench_intake(c: &mut Criterion) {
     g.finish();
 }
 
+/// Times a full `srclint` workspace scan and returns the token count of
+/// the scanned tree (the numerator of the tokens/sec figure).
+fn bench_srclint(c: &mut Criterion) -> usize {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/bench")
+        .to_path_buf();
+    let mut g = c.benchmark_group("service_core");
+    g.sample_size(10);
+    let scan_root = root.clone();
+    g.bench_function("srclint_workspace", |b| {
+        b.iter(|| black_box(lint::lint_workspace(&scan_root).expect("scan")))
+    });
+    g.finish();
+    let report = lint::lint_workspace(&root).expect("scan");
+    assert!(
+        report.diagnostics.is_empty(),
+        "srclint must be clean when the baseline is recorded"
+    );
+    report.tokens_scanned
+}
+
 fn mean_ns(results: &[BenchResult], id: &str) -> u128 {
     results
         .iter()
@@ -178,6 +204,7 @@ fn main() {
     let report = bench_cycles(&mut c);
     let degraded = bench_degraded(&mut c);
     bench_intake(&mut c);
+    let srclint_tokens = bench_srclint(&mut c);
 
     let cycles = report.metrics.cycle_latency.count() as f64;
     let cycles_per_sec = per_sec(cycles, mean_ns(c.results(), "closed_loop_run"));
@@ -190,6 +217,9 @@ fn main() {
     // up in the committed baseline.
     let degraded_p99_ms = degraded.metrics.cycle_latency.quantile(0.99) * 1000.0;
     let degraded_rung = degraded.metrics.ladder_rung;
+    let srclint_ns = mean_ns(c.results(), "srclint_workspace");
+    let srclint_ms = srclint_ns as f64 / 1e6;
+    let srclint_tokens_per_sec = per_sec(srclint_tokens as f64, srclint_ns);
 
     let mut samples = String::new();
     for r in c.results() {
@@ -205,13 +235,15 @@ fn main() {
         ));
     }
     let json = format!(
-        "{{\n  \"bench\": \"BENCH_7\",\n  \"schema\": 2,\n  \
+        "{{\n  \"bench\": \"BENCH_8\",\n  \"schema\": 3,\n  \
          \"cycles_per_sec\": {cycles_per_sec:.2},\n  \
          \"p99_solve_latency_ms\": {p99_solve_ms:.3},\n  \
          \"intake_throughput_jobs_per_sec\": {intake_throughput:.0},\n  \
          \"intake_per_job_ns\": {intake_per_job_ns:.1},\n  \
          \"degraded_cycle_p99_ms\": {degraded_p99_ms:.3},\n  \
          \"degraded_max_ladder_rung\": {degraded_rung},\n  \
+         \"srclint_ms\": {srclint_ms:.1},\n  \
+         \"srclint_tokens_per_sec\": {srclint_tokens_per_sec:.0},\n  \
          \"cycles_timed\": {cycles},\n  \
          \"samples\": [\n{samples}\n  ]\n}}\n"
     );
@@ -222,8 +254,8 @@ fn main() {
         .ancestors()
         .nth(2)
         .expect("workspace root above crates/bench");
-    let out = root.join("BENCH_7.json");
-    std::fs::write(&out, &json).expect("write BENCH_7.json");
+    let out = root.join("BENCH_8.json");
+    std::fs::write(&out, &json).expect("write BENCH_8.json");
     println!("wrote {}", out.display());
     print!("{json}");
 }

@@ -149,6 +149,8 @@ impl Ledger {
     /// node universe into free/allocated/down, and agreement between the
     /// owner index and the allocation table. Returns a description of the
     /// first violation found.
+    // srclint: checked-indexing: ix ranges over 0..num_nodes and `owner`
+    // is allocated with exactly num_nodes entries at construction.
     pub fn validate(&self) -> Result<(), String> {
         let mut allocated = 0usize;
         for ix in 0..self.num_nodes {

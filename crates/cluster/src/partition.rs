@@ -58,6 +58,8 @@ impl PartitionSet {
     }
 
     /// One class by index.
+    // srclint: checked-indexing: class indices are produced by this set's
+    // own covering()/classes() and stay in range for its lifetime.
     pub fn class(&self, ix: usize) -> &NodeSet {
         &self.classes[ix]
     }

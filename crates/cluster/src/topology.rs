@@ -82,6 +82,8 @@ impl Cluster {
     }
 
     /// The set of nodes in a rack.
+    // srclint: checked-indexing: RackIds are minted by this cluster's
+    // builder and always index the racks vector.
     pub fn rack_nodes(&self, rack: RackId) -> &NodeSet {
         &self.racks[rack.index()]
     }

@@ -173,6 +173,8 @@ impl CompiledModel {
     /// (with explicit per-class counts), for seeding the solver with the
     /// previous cycle's schedule. The result is *not* guaranteed feasible;
     /// the solver validates and silently discards bad warm starts.
+    // srclint: checked-indexing: every VarId written here was minted by
+    // this compiled model, and v is allocated with num_vars entries.
     pub fn warm_vector(&self, picks: &[(usize, Vec<(usize, u32)>)]) -> Vec<f64> {
         let mut v = vec![0.0; self.model.num_vars()];
         v[self.root_indicator.index()] = 1.0;

@@ -154,6 +154,9 @@ impl TetriSched {
     /// caller should degrade the cycle to the greedy placer. Compile
     /// failures of individual jobs are isolated and quarantined here, not
     /// grounds for degradation.
+    // srclint: checked-indexing: leaf indices in ChosenAlloc come from the
+    // compiler's own leaves vector, all_tags is built leaf-for-leaf with
+    // it, and by_job groups are non-empty by construction.
     fn cycle_global(
         &mut self,
         ctx: &CycleContext<'_>,
@@ -463,6 +466,8 @@ impl TetriSched {
 
     /// Greedy (`TetriSched-NG`) scheduling: one MILP per job in priority
     /// order, committing space-time claims between solves (Sec. 6.3).
+    // srclint: checked-indexing: chosen is checked non-empty before
+    // chosen[0], and its leaf indices index the same request's tags.
     fn cycle_greedy(
         &mut self,
         ctx: &CycleContext<'_>,
@@ -803,6 +808,8 @@ impl TetriSched {
 
     /// Builds a warm-start vector reactivating last cycle's choices that
     /// are still present in this cycle's model.
+    // srclint: checked-indexing: ix enumerates all_tags, which the caller
+    // builds with exactly one tag per compiled leaf.
     fn build_warm(
         &self,
         compiled: &CompiledModel,

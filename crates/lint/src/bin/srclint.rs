@@ -1,21 +1,27 @@
 //! `srclint`: the workspace invariant linter.
 //!
-//! Walks the workspace's `.rs`/`Cargo.toml` files and enforces the repo
-//! invariants documented in DESIGN.md (codes `L001`–`L004`): simulation
-//! determinism (no stray wall-clock reads), no `unwrap()` in scheduler/
-//! ledger/simulator hot paths, no non-vendored dependencies, and no
-//! hash-based collections in solver-adjacent crates. Offline and fast;
-//! run it from anywhere inside the workspace:
+//! Walks the workspace's `.rs`/`Cargo.toml` files, lexes every source
+//! file ([`lint::lexer`]), and enforces the repo invariants documented in
+//! DESIGN.md (codes `L001`–`L011`): simulation determinism (no stray
+//! wall-clock reads), no `unwrap()` in scheduler/ledger/simulator hot
+//! paths, no non-vendored dependencies, no hash-based collections in
+//! solver-adjacent crates, panic-reachability over the scheduler call
+//! graph, float-determinism in the solver crates, concurrency-readiness
+//! outside the `crates/parallel` seam, and dead operator knobs. Offline
+//! and fast; run it from anywhere inside the workspace:
 //!
 //! ```text
-//! cargo run -p lint --bin srclint [-- --root <dir>] [--json] [--deny-warnings]
+//! cargo run -p lint --bin srclint [-- --root <dir>] [--json] \
+//!     [--deny-warnings] [--budget-ms <n>]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` Error-severity findings (or any finding
-//! under `--deny-warnings`), `2` usage or I/O error.
+//! under `--deny-warnings`, or the runtime budget blown), `2` usage or
+//! I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use lint::{lint_workspace, render_json, render_pretty, Severity};
 
@@ -40,6 +46,7 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
     let mut deny_warnings = false;
+    let mut budget_ms: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -52,8 +59,18 @@ fn main() -> ExitCode {
             },
             "--json" => json = true,
             "--deny-warnings" => deny_warnings = true,
+            "--budget-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => budget_ms = Some(ms),
+                None => {
+                    eprintln!("srclint: --budget-ms requires an integer");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: srclint [--root <dir>] [--json] [--deny-warnings]");
+                eprintln!(
+                    "usage: srclint [--root <dir>] [--json] [--deny-warnings] \
+                     [--budget-ms <n>]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -86,6 +103,7 @@ fn main() -> ExitCode {
         }
     };
 
+    let t0 = Instant::now();
     let report = match lint_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
@@ -93,6 +111,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let elapsed = t0.elapsed();
+    let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+    let tokens_per_sec = report.tokens_scanned as f64 / elapsed.as_secs_f64().max(1e-9);
 
     if json {
         println!("{}", render_json(&report.diagnostics));
@@ -104,6 +125,24 @@ fn main() -> ExitCode {
         );
     } else {
         print!("{}", render_pretty(&report.diagnostics));
+    }
+    // Stats go to stderr so `--json` stdout stays machine-parseable.
+    eprintln!(
+        "srclint: {} files, {} tokens, {} bytes in {elapsed_ms:.1} ms \
+         ({:.1}M tokens/sec); hot-path fns: {}, knob fields: {}",
+        report.files_scanned,
+        report.tokens_scanned,
+        report.bytes_scanned,
+        tokens_per_sec / 1e6,
+        report.hot_path_fns,
+        report.knob_fields_checked,
+    );
+
+    if let Some(ms) = budget_ms {
+        if elapsed_ms > ms as f64 {
+            eprintln!("srclint: runtime budget blown: {elapsed_ms:.1} ms > {ms} ms");
+            return ExitCode::from(1);
+        }
     }
 
     let min_fatal = if deny_warnings {

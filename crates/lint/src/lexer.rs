@@ -1,0 +1,574 @@
+//! A hand-rolled, zero-dependency Rust lexer for the source analyzer.
+//!
+//! The old `srclint` was a line-substring scanner: it could not tell a
+//! needle inside a string literal or a `/* */` block from real code, and
+//! its `#[cfg(test)]` handling was "give up at the first marker". This
+//! lexer replaces that substrate with a real token stream:
+//!
+//! - string (`"…"`), raw-string (`r#"…"#`, any hash depth), byte-string
+//!   (`b"…"`, `br#"…"#`), and C-string (`c"…"`) literals are single
+//!   tokens, so their contents can never match a code pattern;
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* … */ */`) are single trivia tokens;
+//! - `'a` lifetimes are distinguished from `'a'` char literals by
+//!   lookahead, so generic code does not open a phantom char literal;
+//! - numeric literals keep enough shape (`.`-bearing mantissas, exponent,
+//!   `f32`/`f64` suffixes) to answer "is this a float?" for the
+//!   determinism lints.
+//!
+//! Two properties the analyzer's tests pin down:
+//!
+//! 1. **Total**: the lexer never panics, on *any* byte string — including
+//!    invalid UTF-8, unterminated literals, and stray quotes. Unterminated
+//!    tokens simply extend to end of input.
+//! 2. **Lossless**: tokens tile the input exactly — concatenating every
+//!    token's byte range reproduces the input byte-for-byte (proptested in
+//!    `tests/proptest_lexer.rs`).
+//!
+//! Operating on raw bytes (not `char`s) keeps the lexer total on arbitrary
+//! input: bytes ≥ 0x80 are treated as identifier constituents, which is
+//! the right classification for every place they can legally appear in
+//! Rust source and a harmless one everywhere else.
+
+/// Lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Runs of ASCII whitespace.
+    Whitespace,
+    /// `// …` to (but not including) the newline; covers doc comments.
+    LineComment,
+    /// `/* … */` with nesting; unterminated comments run to end of input.
+    BlockComment,
+    /// String-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+    /// `c"…"`. The whole literal (prefix, hashes, quotes, body) is one
+    /// token, so nothing inside it can match a code pattern.
+    Str,
+    /// Character or byte-character literal: `'x'`, `'\n'`, `b'\xff'`.
+    Char,
+    /// Lifetime or loop label: `'a`, `'static`, `'outer`.
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// Identifier, keyword, or raw identifier (`r#match`).
+    Ident,
+    /// A single punctuation byte. Multi-byte operators (`::`, `==`, `->`)
+    /// are adjacent `Punct` tokens; consumers test span adjacency.
+    Punct,
+}
+
+/// One token: a classified, line-annotated byte range of the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's bytes within `src` (the input it was lexed from).
+    pub fn bytes<'a>(&self, src: &'a [u8]) -> &'a [u8] {
+        &src[self.start..self.end]
+    }
+
+    /// The token's text, lossily decoded (only used for display and for
+    /// ASCII-only pattern matching, where lossy decoding is exact).
+    pub fn text<'a>(&self, src: &'a [u8]) -> std::borrow::Cow<'a, str> {
+        String::from_utf8_lossy(self.bytes(src))
+    }
+
+    /// Whether this token is trivia (whitespace or a comment).
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+/// Whether a `Num` token's text denotes a floating-point literal: it has
+/// a fractional part (`1.5`), a decimal exponent (`1e9`), or an explicit
+/// float suffix (`1f64`). Hex/octal/binary literals are never floats.
+pub fn num_is_float(text: &[u8]) -> bool {
+    if text.len() >= 2 && text[0] == b'0' && matches!(text[1], b'x' | b'o' | b'b' | b'X') {
+        return false;
+    }
+    let s = String::from_utf8_lossy(text);
+    s.contains('.')
+        || s.ends_with("f32")
+        || s.ends_with("f64")
+        || s.bytes().any(|b| b == b'e' || b == b'E')
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// The lexer: a cursor over raw bytes.
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances `n` bytes, counting newlines.
+    fn bump(&mut self, n: usize) {
+        let end = (self.pos + n).min(self.src.len());
+        for &b in &self.src[self.pos..end] {
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        self.pos = end;
+    }
+
+    fn bump_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek(0) {
+            if pred(b) {
+                self.bump(1);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Consumes a double-quoted string body starting *after* the opening
+    /// quote, honouring backslash escapes. Unterminated → end of input.
+    fn quoted_body(&mut self) {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.bump(2.min(self.src.len() - self.pos)),
+                b'"' => {
+                    self.bump(1);
+                    return;
+                }
+                _ => self.bump(1),
+            }
+        }
+    }
+
+    /// Consumes a raw-string body starting at the hashes: `#*"…"#*`.
+    /// Returns whether this really was a raw string (it is not when the
+    /// hashes are not followed by a quote — that's a raw identifier or
+    /// stray punctuation, and the cursor is left untouched).
+    fn raw_string_body(&mut self) -> bool {
+        let mut hashes = 0;
+        while self.peek(hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) != Some(b'"') {
+            return false;
+        }
+        self.bump(hashes + 1);
+        // Scan for `"` followed by `hashes` hashes.
+        while let Some(b) = self.peek(0) {
+            self.bump(1);
+            if b == b'"' {
+                let mut n = 0;
+                while n < hashes && self.peek(n) == Some(b'#') {
+                    n += 1;
+                }
+                if n == hashes {
+                    self.bump(hashes);
+                    return true;
+                }
+            }
+        }
+        true // unterminated: ran to end of input
+    }
+
+    /// Consumes a nested block comment starting after the opening `/*`.
+    fn block_comment_body(&mut self) {
+        let mut depth = 1usize;
+        while let Some(b) = self.peek(0) {
+            if b == b'/' && self.peek(1) == Some(b'*') {
+                self.bump(2);
+                depth += 1;
+            } else if b == b'*' && self.peek(1) == Some(b'/') {
+                self.bump(2);
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.bump(1);
+            }
+        }
+    }
+
+    /// Consumes a numeric literal. Entered on an ASCII digit.
+    fn number(&mut self) {
+        if self.peek(0) == Some(b'0') && matches!(self.peek(1), Some(b'x' | b'o' | b'b' | b'X')) {
+            self.bump(2);
+            self.bump_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+            return;
+        }
+        self.bump_while(|b| b.is_ascii_digit() || b == b'_');
+        // Fractional part: a `.` counts only when followed by a digit, so
+        // ranges (`0..n`) and method calls (`1.max(x)`) stay separate.
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.bump(1);
+            self.bump_while(|b| b.is_ascii_digit() || b == b'_');
+        } else if self.peek(0) == Some(b'.')
+            && !self.peek(1).is_some_and(is_ident_start)
+            && self.peek(1) != Some(b'.')
+        {
+            // Trailing-dot float (`1.`): dot not followed by ident, digit,
+            // or another dot.
+            self.bump(1);
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let sign = matches!(self.peek(1), Some(b'+' | b'-'));
+            let digit_at = if sign { 2 } else { 1 };
+            if self.peek(digit_at).is_some_and(|b| b.is_ascii_digit()) {
+                self.bump(digit_at);
+                self.bump_while(|b| b.is_ascii_digit() || b == b'_');
+            }
+        }
+        // Suffix (`u32`, `f64`, …) glues onto the literal.
+        self.bump_while(is_ident_continue);
+    }
+
+    /// Lexes one token at the cursor. The cursor is not at end of input.
+    fn next_token(&mut self) -> Token {
+        let start = self.pos;
+        let line = self.line;
+        let b = self.src[self.pos];
+        let kind = match b {
+            _ if b.is_ascii_whitespace() => {
+                self.bump_while(|b| b.is_ascii_whitespace());
+                TokenKind::Whitespace
+            }
+            b'/' if self.peek(1) == Some(b'/') => {
+                self.bump_while(|b| b != b'\n');
+                TokenKind::LineComment
+            }
+            b'/' if self.peek(1) == Some(b'*') => {
+                self.bump(2);
+                self.block_comment_body();
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                self.bump(1);
+                self.quoted_body();
+                TokenKind::Str
+            }
+            b'\'' => self.char_or_lifetime(),
+            _ if b.is_ascii_digit() => {
+                self.number();
+                TokenKind::Num
+            }
+            _ if is_ident_start(b) => self.ident_or_prefixed_literal(),
+            _ => {
+                self.bump(1);
+                TokenKind::Punct
+            }
+        };
+        Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+        }
+    }
+
+    /// Disambiguates `'a'` / `'\n'` (char literals) from `'a` / `'static`
+    /// (lifetimes and labels). Entered on the opening quote.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(1); // the quote
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: consume escapes until the close.
+                while let Some(b) = self.peek(0) {
+                    match b {
+                        b'\\' => self.bump(2.min(self.src.len() - self.pos)),
+                        b'\'' => {
+                            self.bump(1);
+                            return TokenKind::Char;
+                        }
+                        b'\n' => return TokenKind::Char, // unterminated
+                        _ => self.bump(1),
+                    }
+                }
+                TokenKind::Char
+            }
+            Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+                // Could be `'x'` (char) or `'ident` (lifetime): scan the
+                // identifier run, then look for a closing quote.
+                let mut n = 0;
+                while self.peek(n).is_some_and(is_ident_continue) {
+                    n += 1;
+                }
+                if self.peek(n) == Some(b'\'') {
+                    self.bump(n + 1);
+                    TokenKind::Char
+                } else {
+                    self.bump(n);
+                    TokenKind::Lifetime
+                }
+            }
+            Some(b'\'') => {
+                // `''` — empty char literal (invalid Rust, but total).
+                self.bump(1);
+                TokenKind::Char
+            }
+            Some(c) => {
+                // `'('`-style char of one punctuation byte, if closed.
+                if self.peek(1) == Some(b'\'') && c != b'\n' {
+                    self.bump(2);
+                    TokenKind::Char
+                } else {
+                    TokenKind::Punct // a stray quote
+                }
+            }
+            None => TokenKind::Punct,
+        }
+    }
+
+    /// Lexes an identifier, checking for string-literal prefixes (`r"`,
+    /// `b"`, `br#"`, `c"`, …) and raw identifiers (`r#match`).
+    fn ident_or_prefixed_literal(&mut self) -> TokenKind {
+        let start = self.pos;
+        self.bump_while(is_ident_continue);
+        let ident = &self.src[start..self.pos];
+        let next = self.peek(0);
+        let string_prefix = matches!(ident, b"r" | b"b" | b"br" | b"c" | b"cr" | b"rb");
+        if string_prefix && next == Some(b'"') {
+            self.bump(1);
+            self.quoted_body();
+            return TokenKind::Str;
+        }
+        if string_prefix && next == Some(b'#') {
+            // `r#"…"#` raw string or `r#ident` raw identifier.
+            if self.raw_string_body() {
+                return TokenKind::Str;
+            }
+            if self.peek(1).is_some_and(is_ident_start) {
+                self.bump(1); // the hash
+                self.bump_while(is_ident_continue);
+                return TokenKind::Ident;
+            }
+        }
+        if ident == b"b" && next == Some(b'\'') {
+            // Reuse the char/lifetime disambiguator (it consumes the
+            // quote itself); whatever it sees, the `b` prefix makes the
+            // whole run a byte-char literal, and an unterminated `b'x`
+            // still lexes without panicking.
+            self.char_or_lifetime();
+            return TokenKind::Char;
+        }
+        TokenKind::Ident
+    }
+}
+
+/// Lexes `src` into a complete, lossless token stream: the returned
+/// tokens tile `0..src.len()` exactly, in order, and the function is
+/// total over arbitrary bytes.
+pub fn lex(src: &[u8]) -> Vec<Token> {
+    let mut lx = Lexer {
+        src,
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::with_capacity(src.len() / 4 + 8);
+    while lx.pos < src.len() {
+        let before = lx.pos;
+        let tok = lx.next_token();
+        // Totality backstop: every token consumes at least one byte.
+        if lx.pos == before {
+            lx.bump(1);
+            out.push(Token {
+                kind: TokenKind::Punct,
+                start: before,
+                end: lx.pos,
+                line: tok.line,
+            });
+        } else {
+            out.push(tok);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src.as_bytes())
+            .into_iter()
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    fn sig(src: &str) -> Vec<(TokenKind, String)> {
+        kinds(src)
+            .into_iter()
+            .filter(|(k, _)| {
+                !matches!(
+                    k,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .map(|(k, s)| (k, s.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_basic_source() {
+        let src = "fn main() { let x = 1.5; // done\n }";
+        let toks = lex(src.as_bytes());
+        let rebuilt: Vec<u8> = toks
+            .iter()
+            .flat_map(|t| src.as_bytes()[t.start..t.end].to_vec())
+            .collect();
+        assert_eq!(rebuilt, src.as_bytes());
+    }
+
+    #[test]
+    fn strings_are_single_tokens() {
+        let got = sig(r#"let s = "has .unwrap() inside";"#);
+        assert!(got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Str && s.contains("unwrap")));
+        // No Ident token spells `unwrap`.
+        assert!(!got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && s == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let got = sig(r###"let s = r#"Instant::now() "quoted" "#;"###);
+        let strs: Vec<_> = got.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("Instant"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let got = sig("let r#match = 1;");
+        assert!(got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && s == "r#match"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let got = kinds(src);
+        let comments: Vec<_> = got
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::BlockComment)
+            .collect();
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].1.contains("inner"));
+        let idents: Vec<_> = got
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, s)| *s)
+            .collect();
+        assert_eq!(idents, ["a", "b"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let got = sig("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Lifetime && s == "'a"));
+        assert!(got.iter().any(|(k, s)| *k == TokenKind::Char && s == "'x'"));
+        let got = sig("'static loop_label: loop { break 'static2; }");
+        assert!(got
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Lifetime && s == "'static"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let got = sig(r"let c = '\n'; let q = '\''; let u = '\u{1F600}';");
+        let chars: Vec<_> = got.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 3);
+    }
+
+    #[test]
+    fn float_detection() {
+        assert!(num_is_float(b"1.5"));
+        assert!(num_is_float(b"1e9"));
+        assert!(num_is_float(b"2f64"));
+        assert!(num_is_float(b"0.0"));
+        assert!(!num_is_float(b"10"));
+        assert!(!num_is_float(b"0xff"));
+        assert!(!num_is_float(b"1_000u64"));
+        assert!(!num_is_float(b"0b1010"));
+    }
+
+    #[test]
+    fn ranges_do_not_eat_dots() {
+        let got = sig("for i in 0..n { a[i] }");
+        assert!(got.iter().any(|(k, s)| *k == TokenKind::Num && s == "0"));
+        assert_eq!(
+            got.iter()
+                .filter(|(k, s)| *k == TokenKind::Punct && s == ".")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn unterminated_inputs_are_total() {
+        for src in [
+            "\"never closed",
+            "r#\"never closed",
+            "/* never closed",
+            "'",
+            "b'",
+            "let x = '\\",
+            "r#",
+        ] {
+            let toks = lex(src.as_bytes());
+            let total: usize = toks.iter().map(|t| t.end - t.start).sum();
+            assert_eq!(total, src.len(), "lossless on {src:?}");
+        }
+    }
+
+    #[test]
+    fn non_utf8_is_total() {
+        let src = [0xff, 0xfe, b'f', b'n', 0x80, b'"', 0xc3];
+        let toks = lex(&src);
+        let total: usize = toks.iter().map(|t| t.end - t.start).sum();
+        assert_eq!(total, src.len());
+    }
+
+    #[test]
+    fn line_numbers() {
+        let toks = lex(b"a\nb\n\ncd");
+        let lines: Vec<(String, u32)> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| {
+                (
+                    String::from_utf8_lossy(t.bytes(b"a\nb\n\ncd")).into_owned(),
+                    t.line,
+                )
+            })
+            .collect();
+        assert_eq!(
+            lines,
+            vec![("a".into(), 1), ("b".into(), 2), ("cd".into(), 4)]
+        );
+    }
+}

@@ -1,0 +1,1050 @@
+//! Item-level source model on top of the [`crate::lexer`] token stream.
+//!
+//! One pass over a file's significant tokens recovers the structure the
+//! workspace lints need — without a full Rust parser:
+//!
+//! - **Items**: `mod`/`impl`/`trait`/`fn`/`struct`/`use` boundaries, with
+//!   brace-matched bodies and a scope stack giving every `fn` its module
+//!   path and (for methods) its `impl` type.
+//! - **Test scoping**: `#[cfg(test)]` / `#[test]` items are brace-matched,
+//!   so code *after* a test module is still analyzed (the old line scanner
+//!   gave up at the first marker) and nothing *inside* one leaks findings.
+//! - **Call sites**: `name(…)`, `Qualifier::name(…)`, `.name(…)` (with or
+//!   without turbofish), and `name!(…)` macro invocations per function
+//!   body — the edges of the panic-reachability call graph (`L008`).
+//! - **Index expressions**: `expr[…]` subscripts, the slice-index panic
+//!   class.
+//! - **Annotations**: `// srclint: <marker>: <reason>` comments attached
+//!   to the function they immediately precede. Markers are the audited
+//!   escape hatch for `L008` (`expect-boundary`, `checked-indexing`);
+//!   every one carries its justification in-line.
+//! - **Knob structs**: field names of config structs, for the dead-knob
+//!   lint (`L011`).
+//!
+//! The model is an over-approximation by design: call resolution is
+//! name-based (scoped by explicit `Type::` qualifiers where present), so
+//! the `L008` reachable set can only err toward including more code, never
+//! toward silently excluding a hot path.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Rust keywords — never call names, never index receivers.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true",
+    "type", "union", "unsafe", "use", "where", "while", "yield",
+];
+
+pub fn is_keyword(text: &str) -> bool {
+    KEYWORDS.contains(&text)
+}
+
+/// A `// srclint: <marker>: <reason>` annotation comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    /// The marker, e.g. `expect-boundary` or `checked-indexing`.
+    pub marker: String,
+    /// The justification text after the marker (may be empty — lints that
+    /// honour a marker require it to be non-empty, keeping escapes
+    /// auditable).
+    pub reason: String,
+    pub line: u32,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Explicit path qualifier, if any: `Model` in `Model::new(…)`,
+    /// `Self` in `Self::solve(…)`. `None` for bare calls and `.method()`
+    /// receivers.
+    pub qualifier: Option<String>,
+    /// Callee name (last path segment).
+    pub name: String,
+    /// Whether this is a `.name(…)` method call.
+    pub is_method: bool,
+    pub line: u32,
+}
+
+/// A function item (free function, method, or trait default method).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The bare name.
+    pub name: String,
+    /// Module path within the file (e.g. `["imp", "detail"]`).
+    pub module: Vec<String>,
+    /// `impl`/`trait` type the fn is a method of, if any.
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Significant-token index range of the body, *exclusive* of the
+    /// outer braces. Empty for bodyless declarations.
+    pub body: (usize, usize),
+    /// Whether the item is test code (`#[test]`, `#[cfg(test)]`, or
+    /// lexically inside a test-scoped item).
+    pub is_test: bool,
+    /// `srclint:` annotations attached to this fn.
+    pub annotations: Vec<Annotation>,
+    /// Call sites in the body, in source order.
+    pub calls: Vec<CallSite>,
+    /// Macro invocations in the body (`name` of `name!(…)`).
+    pub macros: Vec<(String, u32)>,
+    /// Lines of `expr[…]` index expressions in the body.
+    pub index_sites: Vec<u32>,
+    /// Lines of `.unwrap(` calls in the body.
+    pub unwrap_sites: Vec<u32>,
+    /// Lines of `.expect(` calls in the body.
+    pub expect_sites: Vec<u32>,
+}
+
+impl FnItem {
+    /// Display path: `module::Type::name`.
+    pub fn qualified(&self) -> String {
+        let mut parts: Vec<&str> = self.module.iter().map(String::as_str).collect();
+        if let Some(t) = &self.impl_type {
+            parts.push(t);
+        }
+        parts.push(&self.name);
+        parts.join("::")
+    }
+
+    /// Whether an annotation with `marker` and a non-empty reason is
+    /// attached.
+    pub fn has_annotation(&self, marker: &str) -> bool {
+        self.annotations
+            .iter()
+            .any(|a| a.marker == marker && !a.reason.trim().is_empty())
+    }
+}
+
+/// A struct item and its named fields (tuple/unit structs record none).
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    pub name: String,
+    pub line: u32,
+    /// `(field name, line)` pairs, declaration order.
+    pub fields: Vec<(String, u32)>,
+}
+
+/// A parsed source file: token stream plus the item model.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    pub src: Vec<u8>,
+    /// The full lossless token stream.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of significant (non-trivia) tokens.
+    pub sig: Vec<usize>,
+    /// Per-`sig`-index: whether the token is inside test code.
+    pub test_mask: Vec<bool>,
+    pub fns: Vec<FnItem>,
+    pub structs: Vec<StructItem>,
+    /// `use` declaration paths, textually (whitespace-stripped).
+    pub uses: Vec<String>,
+}
+
+impl SourceFile {
+    /// Text of the significant token at sig-index `i`.
+    pub fn sig_text(&self, i: usize) -> std::borrow::Cow<'_, str> {
+        self.tokens[self.sig[i]].text(&self.src)
+    }
+
+    /// Kind of the significant token at sig-index `i`.
+    pub fn sig_kind(&self, i: usize) -> TokenKind {
+        self.tokens[self.sig[i]].kind
+    }
+
+    /// Line of the significant token at sig-index `i`.
+    pub fn sig_line(&self, i: usize) -> u32 {
+        self.tokens[self.sig[i]].line
+    }
+
+    /// Whether sig tokens `i` and `i + 1` are adjacent in the source
+    /// (no trivia between) — how multi-byte operators like `::`, `==`,
+    /// and `!=` are recognized over single-byte `Punct` tokens.
+    pub fn sig_adjacent(&self, i: usize) -> bool {
+        match (self.sig.get(i), self.sig.get(i + 1)) {
+            (Some(&a), Some(&b)) => self.tokens[a].end == self.tokens[b].start,
+            _ => false,
+        }
+    }
+
+    /// Whether the sig token at `i` is the punctuation byte `p`.
+    /// Out-of-range indices are simply not that punctuation.
+    pub fn is_punct(&self, i: usize, p: &str) -> bool {
+        match self.sig.get(i) {
+            Some(&raw) => {
+                self.tokens[raw].kind == TokenKind::Punct
+                    && self.tokens[raw].bytes(&self.src) == p.as_bytes()
+            }
+            None => false,
+        }
+    }
+
+    /// Whether sig tokens starting at `i` spell the operator `op`
+    /// (adjacent single-byte puncts), e.g. `::` or `==`.
+    pub fn is_op(&self, i: usize, op: &str) -> bool {
+        for (k, ch) in op.chars().enumerate() {
+            if !self.is_punct(i + k, &ch.to_string()) {
+                return false;
+            }
+            if k + 1 < op.len() && !self.sig_adjacent(i + k) {
+                return false;
+            }
+        }
+        // The operator must not extend further (`==` is not `===`, and
+        // `..=` must not read as `.` + `.`).
+        if let Some(last) = op.chars().last() {
+            let j = i + op.len() - 1;
+            if self.sig_adjacent(j) {
+                if let Some(&nb) = self.sig.get(j + 1) {
+                    if self.tokens[nb].kind == TokenKind::Punct {
+                        let nxt = self.tokens[nb].text(&self.src).to_string();
+                        // Extensions that change the operator's meaning.
+                        let joined = format!("{last}{nxt}");
+                        if matches!(joined.as_str(), "==" | "=>" | "::" | "..") {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Parses `bytes` into a source model. Total: never panics, even on
+    /// unbalanced or non-UTF-8 input; unclosed scopes simply end at EOF.
+    pub fn parse(rel: &str, bytes: Vec<u8>) -> SourceFile {
+        let tokens = lex(&bytes);
+        let sig: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_trivia())
+            .map(|(i, _)| i)
+            .collect();
+        let mut file = SourceFile {
+            rel: rel.to_string(),
+            src: bytes,
+            test_mask: vec![false; sig.len()],
+            tokens,
+            sig,
+            fns: Vec::new(),
+            structs: Vec::new(),
+            uses: Vec::new(),
+        };
+        Parser::new(&mut file).run();
+        for f in 0..file.fns.len() {
+            let (calls, macros, index_sites, unwrap_sites, expect_sites) =
+                scan_body(&file, file.fns[f].body);
+            let item = &mut file.fns[f];
+            item.calls = calls;
+            item.macros = macros;
+            item.index_sites = index_sites;
+            item.unwrap_sites = unwrap_sites;
+            item.expect_sites = expect_sites;
+        }
+        file
+    }
+}
+
+/// One entry of the parser's scope stack.
+#[derive(Debug, Clone)]
+struct Scope {
+    /// Module name (for `mod` scopes) — extends the module path.
+    module: Option<String>,
+    /// Impl/trait type (for `impl`/`trait` scopes).
+    impl_type: Option<String>,
+    /// Whether the scope is test code.
+    test: bool,
+}
+
+struct Parser<'f> {
+    file: &'f mut SourceFile,
+    /// Cursor over sig indices.
+    i: usize,
+    scopes: Vec<Scope>,
+    /// Pending `srclint:` annotations (from trivia) awaiting the next fn.
+    pending_markers: Vec<Annotation>,
+    /// A pending `#[cfg(test)]` / `#[test]` attribute awaiting an item.
+    pending_test: bool,
+    /// Sig index where the pending attribute run started (for masking).
+    pending_attr_start: Option<usize>,
+}
+
+impl<'f> Parser<'f> {
+    fn new(file: &'f mut SourceFile) -> Self {
+        Parser {
+            file,
+            i: 0,
+            scopes: Vec::new(),
+            pending_markers: Vec::new(),
+            pending_test: false,
+            pending_attr_start: None,
+        }
+    }
+
+    fn in_test(&self) -> bool {
+        self.scopes.iter().any(|s| s.test)
+    }
+
+    fn module_path(&self) -> Vec<String> {
+        self.scopes
+            .iter()
+            .filter_map(|s| s.module.clone())
+            .collect()
+    }
+
+    fn impl_type(&self) -> Option<String> {
+        self.scopes.iter().rev().find_map(|s| s.impl_type.clone())
+    }
+
+    fn text(&self, i: usize) -> String {
+        self.file.sig_text(i).into_owned()
+    }
+
+    fn kind(&self, i: usize) -> Option<TokenKind> {
+        if i < self.file.sig.len() {
+            Some(self.file.sig_kind(i))
+        } else {
+            None
+        }
+    }
+
+    /// Collects `srclint:` annotations out of the trivia gap *before* sig
+    /// token `i` (comments between the previous significant token and
+    /// this one).
+    fn harvest_markers(&mut self, i: usize) {
+        let lo = if i == 0 { 0 } else { self.file.sig[i - 1] + 1 };
+        let hi = match self.file.sig.get(i) {
+            Some(&raw) => raw,
+            None => self.file.tokens.len(),
+        };
+        for raw in lo..hi {
+            let t = self.file.tokens[raw];
+            if matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+                let text = t.text(&self.file.src).into_owned();
+                if let Some(rest) = text.split("srclint:").nth(1) {
+                    let rest = rest.trim();
+                    let (marker, reason) = match rest.split_once(':') {
+                        Some((m, r)) => (m.trim().to_string(), r.trim().to_string()),
+                        None => (rest.trim_end_matches('.').to_string(), String::new()),
+                    };
+                    if !marker.is_empty() {
+                        self.pending_markers.push(Annotation {
+                            marker,
+                            reason,
+                            line: t.line,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finds the sig index of the brace that closes the `{` at `open`.
+    /// Returns the index just past the end on unbalanced input.
+    fn match_brace(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < self.file.sig.len() {
+            if self.file.is_punct(j, "{") {
+                depth += 1;
+            } else if self.file.is_punct(j, "}") {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j;
+                }
+            }
+            j += 1;
+        }
+        self.file.sig.len()
+    }
+
+    /// Marks sig range `[lo, hi]` as test code.
+    fn mask_test(&mut self, lo: usize, hi: usize) {
+        for m in self
+            .file
+            .test_mask
+            .iter_mut()
+            .take(hi.saturating_add(1).min(self.file.sig.len()))
+            .skip(lo)
+        {
+            *m = true;
+        }
+    }
+
+    fn run(&mut self) {
+        let n = self.file.sig.len();
+        while self.i < n {
+            self.harvest_markers(self.i);
+            if self.i >= n {
+                break;
+            }
+            let i = self.i;
+            // Scope masking: anything inside a test scope is test code.
+            if self.in_test() {
+                self.file.test_mask[i] = true;
+            }
+            match self.kind(i) {
+                Some(TokenKind::Punct) => {
+                    let t = self.text(i);
+                    match t.as_str() {
+                        "#" => {
+                            self.attribute();
+                            continue;
+                        }
+                        "{" => {
+                            self.scopes.push(Scope {
+                                module: None,
+                                impl_type: None,
+                                test: self.in_test(),
+                            });
+                            self.clear_pending();
+                        }
+                        "}" => {
+                            self.scopes.pop();
+                            self.clear_pending();
+                        }
+                        ";" => self.clear_pending(),
+                        _ => {}
+                    }
+                    self.i += 1;
+                }
+                Some(TokenKind::Ident) => {
+                    let t = self.text(i);
+                    match t.as_str() {
+                        "fn" => self.fn_item(),
+                        "mod" => self.mod_item(),
+                        "impl" => self.impl_item(),
+                        "trait" => self.trait_item(),
+                        "struct" => self.struct_item(),
+                        "union" => self.struct_item(),
+                        "use" => self.use_item(),
+                        // Modifier keywords between attrs and the item
+                        // keyword: keep pending state alive.
+                        "pub" | "unsafe" | "async" | "extern" | "const" | "default" => {
+                            self.i += 1;
+                        }
+                        _ => {
+                            self.i += 1;
+                        }
+                    }
+                }
+                Some(_) => {
+                    self.i += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn clear_pending(&mut self) {
+        self.pending_markers.clear();
+        self.pending_test = false;
+        self.pending_attr_start = None;
+    }
+
+    /// Parses an attribute at the cursor (`#` or `#!`), bracket-matched.
+    fn attribute(&mut self) {
+        let start = self.i;
+        let mut j = self.i + 1;
+        let inner = j < self.file.sig.len() && self.file.is_punct(j, "!");
+        if inner {
+            j += 1;
+        }
+        if j >= self.file.sig.len() || !self.file.is_punct(j, "[") {
+            self.i += 1;
+            return;
+        }
+        // Bracket-match to the closing `]`, collecting the attr body.
+        let mut depth = 0usize;
+        let mut body = String::new();
+        while j < self.file.sig.len() {
+            let t = self.text(j);
+            if self.file.is_punct(j, "[") {
+                depth += 1;
+            } else if self.file.is_punct(j, "]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            body.push_str(&t);
+            j += 1;
+        }
+        let is_test_attr = {
+            let b = body.trim_start_matches('[');
+            b == "test"
+                || b.starts_with("cfg") && b.contains("test") && !b.contains("not(test")
+                || b.starts_with("cfg_attr") && b.contains("test")
+        };
+        if is_test_attr && !inner {
+            self.pending_test = true;
+        }
+        if self.pending_attr_start.is_none() {
+            self.pending_attr_start = Some(start);
+        }
+        self.i = (j + 1).min(self.file.sig.len());
+    }
+
+    fn fn_item(&mut self) {
+        let fn_kw = self.i;
+        let n = self.file.sig.len();
+        // A `fn` not followed by a name is a function-pointer type.
+        let name_at = fn_kw + 1;
+        if name_at >= n || self.kind(name_at) != Some(TokenKind::Ident) {
+            self.i += 1;
+            return;
+        }
+        let name = self.text(name_at);
+        // Scan to the body `{` (or `;` for bodyless decls) at bracket
+        // depth 0 — parens/brackets from params and return types nest.
+        let mut j = name_at + 1;
+        let mut paren = 0i64;
+        let mut bracket = 0i64;
+        let mut body_open = None;
+        while j < n {
+            if self.file.is_punct(j, "(") {
+                paren += 1;
+            } else if self.file.is_punct(j, ")") {
+                paren -= 1;
+            } else if self.file.is_punct(j, "[") {
+                bracket += 1;
+            } else if self.file.is_punct(j, "]") {
+                bracket -= 1;
+            } else if paren <= 0 && bracket <= 0 && self.file.is_punct(j, "{") {
+                body_open = Some(j);
+                break;
+            } else if paren <= 0 && bracket <= 0 && self.file.is_punct(j, ";") {
+                break;
+            }
+            j += 1;
+        }
+        let is_test = self.in_test() || self.pending_test;
+        let body = match body_open {
+            Some(open) => {
+                let close = self.match_brace(open);
+                (open + 1, close)
+            }
+            None => (j, j),
+        };
+        let item = FnItem {
+            name,
+            module: self.module_path(),
+            impl_type: self.impl_type(),
+            line: self.file.sig_line(fn_kw),
+            body,
+            is_test,
+            annotations: std::mem::take(&mut self.pending_markers),
+            calls: Vec::new(),
+            macros: Vec::new(),
+            index_sites: Vec::new(),
+            unwrap_sites: Vec::new(),
+            expect_sites: Vec::new(),
+        };
+        if is_test {
+            let lo = self.pending_attr_start.unwrap_or(fn_kw);
+            let hi = match body_open {
+                Some(open) => self.match_brace(open),
+                None => j,
+            };
+            self.mask_test(lo, hi);
+        }
+        self.file.fns.push(item);
+        self.pending_test = false;
+        self.pending_attr_start = None;
+        // Continue parsing *inside* the body (nested fns, test mods)
+        // by resuming just past the signature; the `{` pushes a plain
+        // scope carrying the test flag.
+        match body_open {
+            Some(open) => {
+                self.scopes.push(Scope {
+                    module: None,
+                    impl_type: None,
+                    test: self.in_test() || is_test,
+                });
+                self.i = open + 1;
+            }
+            None => self.i = (j + 1).min(n),
+        }
+    }
+
+    fn mod_item(&mut self) {
+        let kw = self.i;
+        let n = self.file.sig.len();
+        let name = if kw + 1 < n && self.kind(kw + 1) == Some(TokenKind::Ident) {
+            self.text(kw + 1)
+        } else {
+            self.i += 1;
+            return;
+        };
+        let test = self.in_test() || self.pending_test;
+        if kw + 2 < n && self.file.is_punct(kw + 2, "{") {
+            if test {
+                let close = self.match_brace(kw + 2);
+                let lo = self.pending_attr_start.unwrap_or(kw);
+                self.mask_test(lo, close);
+            }
+            self.scopes.push(Scope {
+                module: Some(name),
+                impl_type: None,
+                test,
+            });
+            self.clear_pending();
+            self.i = kw + 3;
+        } else {
+            // `mod name;` — an out-of-line module declaration.
+            self.clear_pending();
+            self.i = (kw + 2).min(n);
+        }
+    }
+
+    /// Extracts the subject type of an `impl`/`trait` header and pushes
+    /// its scope. For `impl Trait for Type`, the subject is `Type`.
+    fn impl_item(&mut self) {
+        let kw = self.i;
+        let n = self.file.sig.len();
+        let mut j = kw + 1;
+        let mut after_for: Option<String> = None;
+        let mut first: Option<String> = None;
+        let mut angle = 0i64;
+        while j < n && !self.file.is_punct(j, "{") && !self.file.is_punct(j, ";") {
+            let t = self.text(j);
+            match (self.kind(j), t.as_str()) {
+                (Some(TokenKind::Punct), "<") => angle += 1,
+                (Some(TokenKind::Punct), ">") => angle -= 1,
+                (Some(TokenKind::Ident), "for") => {
+                    after_for = None; // the next ident names the type
+                    first = first.take(); // keep trait name as fallback
+                    j += 1;
+                    if j < n && self.kind(j) == Some(TokenKind::Ident) {
+                        after_for = Some(self.text(j));
+                    }
+                    j += 1;
+                    continue;
+                }
+                (Some(TokenKind::Ident), ident)
+                    if angle == 0 && first.is_none() && !is_keyword(ident) =>
+                {
+                    first = Some(ident.to_string());
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let subject = after_for.or(first);
+        if j < n && self.file.is_punct(j, "{") {
+            let test = self.in_test() || self.pending_test;
+            if test {
+                let close = self.match_brace(j);
+                let lo = self.pending_attr_start.unwrap_or(kw);
+                self.mask_test(lo, close);
+            }
+            self.scopes.push(Scope {
+                module: None,
+                impl_type: subject,
+                test,
+            });
+            self.clear_pending();
+            self.i = j + 1;
+        } else {
+            self.clear_pending();
+            self.i = (j + 1).min(n);
+        }
+    }
+
+    fn trait_item(&mut self) {
+        // `trait Name … {` — same shape as impl with the name right after.
+        let kw = self.i;
+        let n = self.file.sig.len();
+        let name = if kw + 1 < n && self.kind(kw + 1) == Some(TokenKind::Ident) {
+            Some(self.text(kw + 1))
+        } else {
+            None
+        };
+        let mut j = kw + 1;
+        while j < n && !self.file.is_punct(j, "{") && !self.file.is_punct(j, ";") {
+            j += 1;
+        }
+        if j < n && self.file.is_punct(j, "{") {
+            let test = self.in_test() || self.pending_test;
+            if test {
+                let close = self.match_brace(j);
+                let lo = self.pending_attr_start.unwrap_or(kw);
+                self.mask_test(lo, close);
+            }
+            self.scopes.push(Scope {
+                module: None,
+                impl_type: name,
+                test,
+            });
+            self.clear_pending();
+            self.i = j + 1;
+        } else {
+            self.clear_pending();
+            self.i = (j + 1).min(n);
+        }
+    }
+
+    fn struct_item(&mut self) {
+        let kw = self.i;
+        let n = self.file.sig.len();
+        let name = if kw + 1 < n && self.kind(kw + 1) == Some(TokenKind::Ident) {
+            self.text(kw + 1)
+        } else {
+            self.i += 1;
+            return;
+        };
+        let line = self.file.sig_line(kw);
+        // Skip generics to the defining delimiter.
+        let mut j = kw + 2;
+        let mut angle = 0i64;
+        while j < n {
+            if self.file.is_punct(j, "<") {
+                angle += 1;
+            } else if self.file.is_punct(j, ">") {
+                // `->` cannot appear here; plain decrement is safe.
+                angle -= 1;
+            } else if angle <= 0
+                && (self.file.is_punct(j, "{")
+                    || self.file.is_punct(j, "(")
+                    || self.file.is_punct(j, ";"))
+            {
+                break;
+            }
+            j += 1;
+        }
+        let mut fields = Vec::new();
+        if j < n && self.file.is_punct(j, "{") {
+            let close = self.match_brace(j);
+            // Field grammar at depth 1: `(attrs) (pub(..))? name :`.
+            let mut k = j + 1;
+            let mut depth = (0i64, 0i64, 0i64); // paren, bracket, brace
+            while k < close {
+                if self.file.is_punct(k, "(") {
+                    depth.0 += 1;
+                } else if self.file.is_punct(k, ")") {
+                    depth.0 -= 1;
+                } else if self.file.is_punct(k, "[") {
+                    depth.1 += 1;
+                } else if self.file.is_punct(k, "]") {
+                    depth.1 -= 1;
+                } else if self.file.is_punct(k, "{") {
+                    depth.2 += 1;
+                } else if self.file.is_punct(k, "}") {
+                    depth.2 -= 1;
+                } else if depth == (0, 0, 0)
+                    && self.kind(k) == Some(TokenKind::Ident)
+                    && k + 1 < close
+                    && self.file.is_punct(k + 1, ":")
+                    && !self.file.is_op(k + 1, "::")
+                {
+                    let t = self.text(k);
+                    // Only at field position: previous sig is `{`, `,`,
+                    // `]` (attr end), `)` (pub(crate)), or `pub` itself.
+                    let prev_is_pub =
+                        self.kind(k - 1) == Some(TokenKind::Ident) && self.text(k - 1) == "pub";
+                    let prev_ok = k == j + 1
+                        || self.file.is_punct(k - 1, ",")
+                        || self.file.is_punct(k - 1, "]")
+                        || self.file.is_punct(k - 1, ")")
+                        || prev_is_pub;
+                    if prev_ok && !is_keyword(&t) {
+                        fields.push((t, self.file.sig_line(k)));
+                    }
+                }
+                k += 1;
+            }
+            self.file.structs.push(StructItem { name, line, fields });
+            // Do not descend into the braces as scopes — skip past.
+            if self.in_test() || self.pending_test {
+                let lo = self.pending_attr_start.unwrap_or(kw);
+                self.mask_test(lo, close);
+            }
+            self.clear_pending();
+            self.i = close + 1;
+        } else {
+            // Tuple / unit struct: record with no named fields.
+            self.file.structs.push(StructItem { name, line, fields });
+            self.clear_pending();
+            self.i = (j + 1).min(n);
+        }
+    }
+
+    fn use_item(&mut self) {
+        let kw = self.i;
+        let n = self.file.sig.len();
+        let mut j = kw + 1;
+        let mut path = String::new();
+        let mut depth = 0i64;
+        while j < n {
+            if self.file.is_punct(j, "{") {
+                depth += 1;
+            } else if self.file.is_punct(j, "}") {
+                depth -= 1;
+            } else if depth <= 0 && self.file.is_punct(j, ";") {
+                break;
+            }
+            path.push_str(&self.text(j));
+            j += 1;
+        }
+        self.file.uses.push(path);
+        self.clear_pending();
+        self.i = (j + 1).min(n);
+    }
+}
+
+/// Scans a fn body's sig range for call sites, macro invocations, index
+/// expressions, and `.unwrap()`/`.expect()` uses.
+#[allow(clippy::type_complexity)]
+fn scan_body(
+    file: &SourceFile,
+    body: (usize, usize),
+) -> (
+    Vec<CallSite>,
+    Vec<(String, u32)>,
+    Vec<u32>,
+    Vec<u32>,
+    Vec<u32>,
+) {
+    let mut calls = Vec::new();
+    let mut macros = Vec::new();
+    let mut index_sites = Vec::new();
+    let mut unwrap_sites = Vec::new();
+    let mut expect_sites = Vec::new();
+    let (lo, hi) = body;
+    let hi = hi.min(file.sig.len());
+    let mut j = lo;
+    while j < hi {
+        match file.sig_kind(j) {
+            TokenKind::Ident => {
+                let name = file.sig_text(j).into_owned();
+                if is_keyword(&name) {
+                    j += 1;
+                    continue;
+                }
+                let line = file.sig_line(j);
+                // Macro invocation: `name!` (but not `!=`).
+                if j + 1 < hi && file.is_op(j + 1, "!") && !file.is_op(j + 1, "!=") {
+                    macros.push((name, line));
+                    j += 2;
+                    continue;
+                }
+                // Qualifier of a path call: `Name::…` — remembered and
+                // consumed by the final-segment logic below.
+                let is_method = j > 0 && file.is_punct(j - 1, ".");
+                // Skip a turbofish: `name::<…>` before the call parens.
+                let mut k = j + 1;
+                if k + 1 < hi && file.is_op(k, "::") && file.is_punct(k + 2, "<") {
+                    let mut angle = 0i64;
+                    k += 2;
+                    while k < hi {
+                        if file.is_punct(k, "<") {
+                            angle += 1;
+                        } else if file.is_punct(k, ">") {
+                            angle -= 1;
+                            if angle == 0 {
+                                k += 1;
+                                break;
+                            }
+                        } else if file.is_punct(k, ";") || file.is_punct(k, "{") {
+                            break; // not a turbofish after all
+                        }
+                        k += 1;
+                    }
+                }
+                if k < hi && file.is_punct(k, "(") {
+                    // Qualifier = the ident two ops back if `Q::name(`.
+                    let qualifier = if j >= 3
+                        && file.is_op(j - 2, "::")
+                        && file.sig_kind(j - 3) == TokenKind::Ident
+                    {
+                        let q = file.sig_text(j - 3).into_owned();
+                        if is_keyword(&q) && q != "Self" && q != "self" {
+                            None
+                        } else {
+                            Some(q)
+                        }
+                    } else {
+                        None
+                    };
+                    if name == "unwrap" && is_method {
+                        unwrap_sites.push(line);
+                    } else if name == "expect" && is_method {
+                        expect_sites.push(line);
+                    }
+                    calls.push(CallSite {
+                        qualifier,
+                        name,
+                        is_method,
+                        line,
+                    });
+                }
+                j = k.max(j + 1);
+            }
+            TokenKind::Punct => {
+                // Index expression: `[` whose previous sig token ends an
+                // expression (ident, `]`, or `)`), and which is not a
+                // macro-bracket (`vec![…]` — prev is `!`) or attribute.
+                if file.is_punct(j, "[") && j > 0 {
+                    let prev_kind = file.sig_kind(j - 1);
+                    let prev = file.sig_text(j - 1);
+                    let exprish = match prev_kind {
+                        TokenKind::Ident => !is_keyword(&prev),
+                        TokenKind::Punct => prev == "]" || prev == ")",
+                        _ => false,
+                    };
+                    if exprish {
+                        index_sites.push(file.sig_line(j));
+                    }
+                }
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (calls, macros, index_sites, unwrap_sites, expect_sites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("test.rs", src.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn finds_fns_with_scopes() {
+        let f = parse(
+            "mod a { impl Widget { pub fn frob(&self) {} } }\n\
+             fn free() {}\n\
+             impl Tool for Hammer { fn hit(&self) {} }\n",
+        );
+        let quals: Vec<String> = f.fns.iter().map(|x| x.qualified()).collect();
+        assert_eq!(quals, vec!["a::Widget::frob", "free", "Hammer::hit"]);
+    }
+
+    #[test]
+    fn cfg_test_is_brace_matched_not_terminal() {
+        let f = parse(
+            "fn before() { hot(); }\n\
+             #[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\n\
+             fn after() { also_hot(); }\n",
+        );
+        let after = f.fns.iter().find(|x| x.name == "after").expect("after fn");
+        assert!(!after.is_test, "code after a test module is NOT test code");
+        let helper = f.fns.iter().find(|x| x.name == "helper").expect("helper");
+        assert!(helper.is_test);
+        // The unwrap inside the test mod is masked.
+        let unwrap_sig = (0..f.sig.len())
+            .find(|&i| f.sig_text(i) == "unwrap")
+            .expect("unwrap token");
+        assert!(f.test_mask[unwrap_sig]);
+        // `also_hot` is not masked.
+        let hot_sig = (0..f.sig.len())
+            .find(|&i| f.sig_text(i) == "also_hot")
+            .expect("also_hot token");
+        assert!(!f.test_mask[hot_sig]);
+    }
+
+    #[test]
+    fn test_attr_masks_single_fn() {
+        let f = parse("#[test]\nfn check() { assert!(true); }\nfn prod() {}\n");
+        assert!(f.fns[0].is_test);
+        assert!(!f.fns[1].is_test);
+    }
+
+    #[test]
+    fn calls_and_qualifiers() {
+        let f = parse(
+            "fn driver() {\n\
+                let m = Model::new(4);\n\
+                helper(m);\n\
+                m.solve();\n\
+                let v: Vec<u32> = it.collect::<Vec<u32>>();\n\
+                panic!(\"boom\");\n\
+             }\n",
+        );
+        let d = &f.fns[0];
+        let call = |n: &str| d.calls.iter().find(|c| c.name == n).expect(n);
+        assert_eq!(call("new").qualifier.as_deref(), Some("Model"));
+        assert!(call("helper").qualifier.is_none() && !call("helper").is_method);
+        assert!(call("solve").is_method);
+        assert!(call("collect").is_method);
+        assert_eq!(d.macros, vec![("panic".to_string(), 6)]);
+    }
+
+    #[test]
+    fn index_unwrap_expect_sites() {
+        let f = parse(
+            "fn f(xs: &[u32], o: Option<u32>) -> u32 {\n\
+                let a = xs[0];\n\
+                let b = o.unwrap();\n\
+                let c = o.expect(\"why\");\n\
+                let d = vec![1, 2];\n\
+                let e: [u8; 4] = [0; 4];\n\
+                a + b + c + d[1] as u32 + e[0] as u32\n\
+             }\n",
+        );
+        let item = &f.fns[0];
+        assert_eq!(item.index_sites, vec![2, 7, 7]);
+        assert_eq!(item.unwrap_sites, vec![3]);
+        assert_eq!(item.expect_sites, vec![4]);
+    }
+
+    #[test]
+    fn annotations_attach_to_next_fn() {
+        let f = parse(
+            "// srclint: expect-boundary: config is validated at startup\n\
+             pub fn load() { cfg.expect(\"validated\"); }\n\
+             fn other() {}\n",
+        );
+        assert!(f.fns[0].has_annotation("expect-boundary"));
+        assert!(!f.fns[1].has_annotation("expect-boundary"));
+    }
+
+    #[test]
+    fn annotation_requires_reason() {
+        let f = parse("// srclint: checked-indexing\nfn f(xs: &[u8]) -> u8 { xs[0] }\n");
+        assert!(!f.fns[0].has_annotation("checked-indexing"));
+    }
+
+    #[test]
+    fn struct_fields() {
+        let f = parse(
+            "pub struct Config {\n\
+                /// Doc.\n\
+                pub alpha: u64,\n\
+                #[allow(dead_code)]\n\
+                pub beta: Vec<(u32, u32)>,\n\
+                gamma: BTreeMap<String, f64>,\n\
+             }\n\
+             struct Tuple(u32, u32);\n",
+        );
+        let cfg = &f.structs[0];
+        let names: Vec<&str> = cfg.fields.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "beta", "gamma"]);
+        assert_eq!(f.structs[1].fields.len(), 0);
+    }
+
+    #[test]
+    fn needles_in_strings_are_invisible() {
+        let f = parse(
+            "fn log() {\n\
+                let msg = \"do not call .unwrap() or Instant::now here\";\n\
+                print(msg);\n\
+             }\n",
+        );
+        assert!(f.fns[0].unwrap_sites.is_empty());
+        assert!(f.fns[0].calls.iter().all(|c| c.name != "now"));
+    }
+
+    #[test]
+    fn total_on_garbage() {
+        for src in ["fn", "impl {", "struct", "fn f(", "mod m {", "#[", "}}}"] {
+            let _ = parse(src); // must not panic
+        }
+    }
+}

@@ -1,46 +1,61 @@
-//! Workspace invariant linting over source files (codes `L001`–`L006`).
+//! Workspace invariant linting over source files (codes `L001`–`L011`).
 //!
 //! The simulator's reproducibility and the offline build both rest on
-//! conventions that rustc cannot enforce. This pass walks the workspace's
-//! `.rs` and `Cargo.toml` files and machine-checks them:
+//! conventions rustc cannot enforce. This pass parses every workspace
+//! `.rs` file into a token stream + item model ([`crate::lexer`],
+//! [`crate::source_model`]) and machine-checks them. Because analysis is
+//! token-based, needles inside string literals, doc comments, and nested
+//! `/* */` blocks can never fire, and `#[cfg(test)]` scoping is
+//! brace-matched (code *after* a test module is still analyzed).
+//!
+//! Per-file lints:
 //!
 //! - `L001` — no wall-clock reads (`Instant::now` / `SystemTime`) outside
-//!   an explicit allowlist. Simulated time must come from the engine;
-//!   wall-clock is only legitimate for solver budgets and report timing.
-//! - `L002` — no `unwrap()` in scheduler/ledger/simulator hot paths (the
-//!   `cluster`, `core`, `milp`, and `sim` crates' non-test code).
-//!   Invariants are spelled out with `expect()` or propagated as
-//!   `Result`s.
-//! - `L003` — no non-vendored dependency in any `Cargo.toml`: every entry
-//!   must be a `path` dependency or inherit one via `workspace = true`
-//!   (the build environment cannot reach crates.io).
+//!   an explicit allowlist. Simulated time must come from the engine.
+//! - `L002` — no `unwrap()` in scheduler/ledger/simulator hot-path crates
+//!   (`cluster`, `core`, `milp`, `service`, `sim` non-test code).
+//! - `L003` — no non-vendored dependency in any `Cargo.toml` (offline
+//!   build; every dep must be `path` or `workspace = true`).
 //! - `L004` — no hash-based collections (`HashMap`/`HashSet`) in
-//!   solver-adjacent crates (`milp`, `core`, `cluster`): iteration order
-//!   feeds variable/constraint order and thus solver pivoting, so any
-//!   hash-seed dependence would break run-to-run reproducibility and the
-//!   certificate audit replay. Use `BTreeMap`/`BTreeSet`.
+//!   solver-adjacent crates: iteration order feeds model order.
 //! - `L005` — no process-clock access (`std::time` in any form) inside
-//!   `crates/telemetry`: the telemetry registry's notion of time is
-//!   *injected* by callers (`advance` for sim time, `observe_wall` for
-//!   durations callers measured under their own `L001` allowlist entry).
-//!   Unlike `L001` this rule has no allowlist, so the exporters stay
-//!   byte-identical across same-seed runs by construction.
-//! - `L006` — no threading/channel primitives (`std::thread`, `std::sync`,
-//!   `mpsc`, `Mutex`, `RwLock`, `Condvar`) and no clock access (`std::time`
-//!   in any form) inside `crates/service`: the service core is
-//!   single-threaded and driven by the engine's virtual clock, which is
-//!   what makes same-seed service-mode runs byte-identical. Like `L005`
-//!   this rule has no allowlist.
-//! - `L007` — the degradation ladder's rung is owned by `core::governor`:
-//!   no non-test line in the core crate outside `governor.rs` may mention
-//!   `ladder_rung` at all. Scheduler code reads the rung through
-//!   `Governor::rung()` and publishes it through `Governor::stamp()`, so
-//!   the hysteresis state machine is the *only* writer and the no-flap
-//!   property proven for the governor holds for the whole scheduler.
+//!   `crates/telemetry`; time is injected by callers. No allowlist.
+//! - `L006` — no threading/channel primitives and no clock access inside
+//!   `crates/service`; the service core is single-threaded and driven by
+//!   the engine's virtual clock. No allowlist.
+//! - `L007` — the degradation ladder's rung is owned by `core::governor`;
+//!   no other non-test line in the core crate may mention `ladder_rung`.
 //!
-//! Test modules (`#[cfg(test)]` and beyond), `tests/`/`benches/` trees, and
-//! comment lines are exempt from the `.rs` rules. The scan is line-based
-//! and offline-friendly: no rustc, no network.
+//! Workspace lints over the item model:
+//!
+//! - `L008` — **panic-reachability**: no `panic!`-family macro, `unwrap`,
+//!   un-annotated `expect`, or un-annotated slice-index expression in any
+//!   function reachable from the scheduler hot-path root
+//!   (`Scheduler::cycle` in `crates/core/src/scheduler.rs`) through the
+//!   `cluster`/`core`/`milp`/`sim` call graph. `expect` is allowed only in
+//!   functions annotated `// srclint: expect-boundary: <why>`; indexing
+//!   only under `// srclint: checked-indexing: <why>`. Call resolution is
+//!   name-based (scoped by `Type::` qualifiers) and over-approximating:
+//!   it can include extra code, never silently exclude a hot path.
+//! - `L009` — **float-determinism**: in solver crates (`milp`, `core`,
+//!   `cluster`), no `f64`/`f32` `==`/`!=` comparison and no float
+//!   `Iterator::sum`/`product`/`fold` accumulation outside the designated
+//!   fixed-order reduction kernels (`crates/milp/src/kernels.rs`). This is
+//!   the contract parallel shard-merge code must obey: reductions happen
+//!   in one auditable place, in one fixed order.
+//! - `L010` — **concurrency-readiness**: threads, locks, atomics,
+//!   channels, and `static mut` are forbidden everywhere except the
+//!   `crates/parallel` seam (where the decomposed-solver worker pool will
+//!   live) and the vendored third-party API stubs.
+//! - `L011` — **dead knobs**: every field of the operator-facing config
+//!   structs (`TetriSchedConfig`, `PerfFaultConfig`, `AdmissionPolicy`)
+//!   must be *read* (`.field` access that is not an assignment) somewhere
+//!   in non-test code. A knob that is only ever written is dead: it
+//!   silently ignores operator intent.
+//!
+//! Test items (brace-matched `#[cfg(test)]` / `#[test]`), `tests/` and
+//! `benches/` trees are exempt from the `.rs` rules. The scan is offline:
+//! no rustc, no network.
 
 use std::fs;
 use std::io;
@@ -48,23 +63,20 @@ use std::path::Path;
 
 use tetrisched_milp::lint::{Diagnostic, Severity};
 
-// The needles are assembled at compile time so this file does not match
-// its own rules when the linter scans itself.
-const WALL_CLOCK_PATTERNS: [&str; 2] = [concat!("Instant", "::now"), concat!("System", "Time")];
-const UNWRAP_PATTERN: &str = concat!(".unwrap", "()");
-const CFG_TEST_PATTERN: &str = concat!("#[cfg", "(test)]");
-const HASH_COLLECTION_PATTERNS: [&str; 2] = [concat!("Hash", "Map"), concat!("Hash", "Set")];
+use crate::lexer::{num_is_float, TokenKind};
+use crate::source_model::{is_keyword, FnItem, SourceFile};
 
 /// Files (workspace-relative, `/`-separated) allowed to read the wall
-/// clock: solver time budgets, engine cycle-latency metrics, and report
-/// timing. Everything else must use simulated time.
-const WALL_CLOCK_ALLOWLIST: [&str; 6] = [
+/// clock: solver time budgets, engine cycle-latency metrics, report
+/// timing, and the linter's own runtime-budget check.
+const WALL_CLOCK_ALLOWLIST: [&str; 7] = [
     "crates/milp/src/branch_bound.rs",
     "crates/milp/src/backend.rs",
     "crates/sim/src/engine.rs",
     "crates/core/src/scheduler.rs",
     "crates/bench/src/bin/report.rs",
     "crates/criterion/src/lib.rs",
+    "crates/lint/src/bin/srclint.rs",
 ];
 
 /// Crate subtrees whose non-test code must not call `unwrap()`.
@@ -77,13 +89,10 @@ const NO_UNWRAP_PREFIXES: [&str; 5] = [
 ];
 
 /// Files allowed to keep `unwrap()` in hot paths. Kept honest and empty
-/// after the PR-3 burn-down; add entries only with a comment explaining
-/// the invariant.
+/// after the PR-3 burn-down.
 const UNWRAP_ALLOWLIST: [&str; 0] = [];
 
-/// Crate subtrees whose non-test code must not use hash-based collections:
-/// everything whose iteration order can reach MILP variable/constraint
-/// order or the solve audit.
+/// Crate subtrees whose non-test code must not use hash-based collections.
 const NO_HASH_COLLECTION_PREFIXES: [&str; 3] = [
     "crates/cluster/src/",
     "crates/core/src/",
@@ -91,76 +100,131 @@ const NO_HASH_COLLECTION_PREFIXES: [&str; 3] = [
 ];
 
 /// Files allowed to keep hash collections in solver-adjacent crates. Kept
-/// honest and empty after the PR-4 burn-down; add entries only with a
-/// comment explaining why iteration order provably cannot leak into model
-/// construction or certification.
+/// honest and empty after the PR-4 burn-down.
 const HASH_COLLECTION_ALLOWLIST: [&str; 0] = [];
 
-/// Crate subtrees that must never touch process clocks at all — not even
-/// via an `L001` allowlist entry. The telemetry registry's time is
-/// injected by its callers, which is what makes its exports byte-stable
-/// across same-seed runs; deliberately no allowlist.
+/// Crate subtrees that must never touch process clocks at all (`L005`).
 const CLOCK_INJECTED_PREFIXES: [&str; 1] = ["crates/telemetry/src/"];
 
-/// Any `std::time` mention (broader than the `L001` needles: also catches
-/// imports and `Duration`-producing clock plumbing).
-const STD_TIME_PATTERN: &str = concat!("std::", "time");
-
 /// Crate subtrees that must stay single-threaded, channel-free, and
-/// clock-free: the service core is driven entirely by the engine's
-/// virtual clock, so any thread, synchronization primitive, or clock
-/// read would introduce scheduling nondeterminism. Deliberately no
-/// allowlist.
+/// clock-free (`L006`).
 const SINGLE_THREADED_PREFIXES: [&str; 1] = ["crates/service/src/"];
 
-/// The ladder-rung needle for `L007` (assembled so this file does not
-/// match itself).
-const LADDER_RUNG_PATTERN: &str = concat!("ladder", "_rung");
-
 /// The crate subtree `L007` guards and the single file inside it allowed
-/// to touch the rung: the governor, whose hysteresis state machine is the
-/// one authorized writer.
+/// to touch the rung.
 const LADDER_GUARDED_PREFIX: &str = "crates/core/src/";
 const LADDER_OWNER_FILE: &str = "crates/core/src/governor.rs";
 
-/// Threading/channel/synchronization needles for `L006`.
-const THREADING_PATTERNS: [&str; 6] = [
-    concat!("std::", "thread"),
-    concat!("std::", "sync"),
-    concat!("mp", "sc"),
-    concat!("Mu", "tex"),
-    concat!("Rw", "Lock"),
-    concat!("Cond", "var"),
+/// The hot-path root of the `L008` call graph: the per-cycle scheduler
+/// entry point every solve, placement, and ledger mutation hangs off.
+const HOT_PATH_ROOT_FILE: &str = "crates/core/src/scheduler.rs";
+const HOT_PATH_ROOT_FN: &str = "cycle";
+
+/// Crates whose call graph `L008` traverses.
+const HOT_PATH_CRATES: [&str; 4] = [
+    "crates/cluster/src/",
+    "crates/core/src/",
+    "crates/milp/src/",
+    "crates/sim/src/",
 ];
+
+/// Macros that unconditionally panic when reached (`L008`).
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Solver crates `L009` guards: float comparison and reduction order here
+/// reaches objective values, pivoting, and certificates.
+const FLOAT_DETERMINISM_PREFIXES: [&str; 3] = [
+    "crates/cluster/src/",
+    "crates/core/src/",
+    "crates/milp/src/",
+];
+
+/// The designated fixed-order reduction kernels: the only files in the
+/// solver crates allowed to spell a float reduction or comparison. This
+/// is the seam the decomposed parallel solver's shard-merge code must go
+/// through.
+const FIXED_ORDER_KERNEL_FILES: [&str; 1] = ["crates/milp/src/kernels.rs"];
+
+/// The concurrency seam: the only product subtree allowed to name
+/// threads, locks, or atomics (`L010`). Deliberately a dedicated crate so
+/// the decomposed-MILP worker pool has exactly one auditable home.
+const CONCURRENCY_SEAM_PREFIXES: [&str; 1] = ["crates/parallel/src/"];
+
+/// Vendored third-party API stubs, exempt from `L010` (their upstream
+/// API surfaces name `Arc` etc.); everything else in the workspace is
+/// product code and must stay thread-free outside the seam.
+const VENDORED_STUB_PREFIXES: [&str; 3] = [
+    "crates/criterion/src/",
+    "crates/proptest/src/",
+    "crates/rand/src/",
+];
+
+/// Operator-facing knob structs whose fields `L011` requires to be read.
+const KNOB_STRUCTS: [&str; 3] = ["TetriSchedConfig", "PerfFaultConfig", "AdmissionPolicy"];
 
 /// Result of a workspace scan.
 #[derive(Debug, Default)]
 pub struct SrcLintReport {
-    /// Findings, in walk order.
+    /// Findings, ordered by (file, line, code).
     pub diagnostics: Vec<Diagnostic>,
     /// Number of files scanned (`.rs` + `Cargo.toml`).
     pub files_scanned: usize,
+    /// Total lexed tokens across all `.rs` files (for the bench's
+    /// tokens/sec figure).
+    pub tokens_scanned: usize,
+    /// Total bytes across all `.rs` files.
+    pub bytes_scanned: usize,
+    /// Functions in the `L008` reachable set. Zero when the tree has no
+    /// hot-path root (e.g. fixture corpora without a scheduler); the
+    /// self-lint test asserts this is large on the real workspace, so the
+    /// lint cannot silently disarm.
+    pub hot_path_fns: usize,
+    /// Knob-struct fields checked by `L011` (same honesty guard).
+    pub knob_fields_checked: usize,
 }
 
 /// Scans the workspace rooted at `root` and returns all findings.
 pub fn lint_workspace(root: &Path) -> io::Result<SrcLintReport> {
     let mut report = SrcLintReport::default();
-    walk(root, root, &mut report)?;
+    let mut files: Vec<SourceFile> = Vec::new();
+    walk(root, root, &mut report, &mut files)?;
+    for f in &files {
+        report.tokens_scanned += f.tokens.len();
+        report.bytes_scanned += f.src.len();
+        lint_file(f, &mut report);
+    }
+    lint_panic_reachability(&files, &mut report);
+    lint_float_determinism(&files, &mut report);
+    lint_dead_knobs(&files, &mut report);
+    // Deterministic output order regardless of analysis phase: by file,
+    // then line, then code. Contexts are `rel:line`.
+    report.diagnostics.sort_by_key(|d| {
+        let (file, line) = match d.context.rsplit_once(':') {
+            Some((f, l)) => (f.to_string(), l.parse::<u32>().unwrap_or(0)),
+            None => (d.context.clone(), 0),
+        };
+        (file, line, d.code)
+    });
     Ok(report)
 }
 
-fn walk(root: &Path, dir: &Path, report: &mut SrcLintReport) -> io::Result<()> {
+fn walk(
+    root: &Path,
+    dir: &Path,
+    report: &mut SrcLintReport,
+    files: &mut Vec<SourceFile>,
+) -> io::Result<()> {
     let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
     entries.sort_by_key(|e| e.path());
     for entry in entries {
         let path = entry.path();
         let name = entry.file_name();
-        let name = name.to_string_lossy();
+        let name = name.to_string_lossy().into_owned();
         if path.is_dir() {
             if name == "target" || name.starts_with('.') {
                 continue;
             }
-            walk(root, &path, report)?;
+            walk(root, &path, report, files)?;
         } else if name == "Cargo.toml" {
             report.files_scanned += 1;
             lint_manifest(root, &path, report)?;
@@ -171,7 +235,8 @@ fn walk(root: &Path, dir: &Path, report: &mut SrcLintReport) -> io::Result<()> {
                 continue;
             }
             report.files_scanned += 1;
-            lint_rust_file(&rel, &path, report)?;
+            let bytes = fs::read(&path)?;
+            files.push(SourceFile::parse(&rel, bytes));
         }
     }
     Ok(())
@@ -186,132 +251,566 @@ fn rel_path(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
-fn lint_rust_file(rel: &str, path: &Path, report: &mut SrcLintReport) -> io::Result<()> {
-    let text = fs::read_to_string(path)?;
-    let wall_clock_allowed = WALL_CLOCK_ALLOWLIST.contains(&rel);
-    let unwrap_checked =
-        NO_UNWRAP_PREFIXES.iter().any(|p| rel.starts_with(p)) && !UNWRAP_ALLOWLIST.contains(&rel);
-    let hash_checked = NO_HASH_COLLECTION_PREFIXES
-        .iter()
-        .any(|p| rel.starts_with(p))
-        && !HASH_COLLECTION_ALLOWLIST.contains(&rel);
-    let clock_injected = CLOCK_INJECTED_PREFIXES.iter().any(|p| rel.starts_with(p));
-    let ladder_guarded = rel.starts_with(LADDER_GUARDED_PREFIX) && rel != LADDER_OWNER_FILE;
-    let single_threaded = SINGLE_THREADED_PREFIXES.iter().any(|p| rel.starts_with(p));
-    for (i, line) in text.lines().enumerate() {
-        // Everything from the first test-module marker on is test code.
-        if line.contains(CFG_TEST_PATTERN) {
-            break;
+fn in_any(rel: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| rel.starts_with(p))
+}
+
+/// Whether the sig token at `i` is the identifier `name`.
+fn is_ident(f: &SourceFile, i: usize, name: &str) -> bool {
+    match f.sig.get(i) {
+        Some(&raw) => {
+            f.tokens[raw].kind == TokenKind::Ident && f.tokens[raw].bytes(&f.src) == name.as_bytes()
         }
-        let trimmed = line.trim_start();
-        if trimmed.starts_with("//") {
+        None => false,
+    }
+}
+
+/// Whether sig tokens starting at `i` spell the path `a::b`.
+fn is_path2(f: &SourceFile, i: usize, a: &str, b: &str) -> bool {
+    is_ident(f, i, a) && f.is_op(i + 1, "::") && is_ident(f, i + 3, b)
+}
+
+/// Whether the sig token at `i` is a method-call name: `.name(` — with
+/// the receiver's dot immediately before and the argument paren after
+/// (turbofish allowed between).
+fn is_method_call(f: &SourceFile, i: usize, name: &str) -> bool {
+    if !is_ident(f, i, name) || i == 0 || !f.is_punct(i - 1, ".") {
+        return false;
+    }
+    f.is_punct(i + 1, "(") || f.is_op(i + 1, "::")
+}
+
+fn push(report: &mut SrcLintReport, code: &'static str, msg: String, rel: &str, line: u32) {
+    report.diagnostics.push(Diagnostic::new(
+        code,
+        Severity::Error,
+        msg,
+        format!("{rel}:{line}"),
+    ));
+}
+
+/// All per-file token lints (`L001`/`L002`/`L004`–`L007`, `L010`).
+fn lint_file(f: &SourceFile, report: &mut SrcLintReport) {
+    let rel = f.rel.as_str();
+    let wall_clock_allowed = WALL_CLOCK_ALLOWLIST.contains(&rel);
+    let unwrap_checked = in_any(rel, &NO_UNWRAP_PREFIXES) && !UNWRAP_ALLOWLIST.contains(&rel);
+    let hash_checked =
+        in_any(rel, &NO_HASH_COLLECTION_PREFIXES) && !HASH_COLLECTION_ALLOWLIST.contains(&rel);
+    let clock_injected = in_any(rel, &CLOCK_INJECTED_PREFIXES);
+    let single_threaded = in_any(rel, &SINGLE_THREADED_PREFIXES);
+    let ladder_guarded = rel.starts_with(LADDER_GUARDED_PREFIX) && rel != LADDER_OWNER_FILE;
+    let concurrency_checked =
+        !in_any(rel, &CONCURRENCY_SEAM_PREFIXES) && !in_any(rel, &VENDORED_STUB_PREFIXES);
+
+    let wall_clock_needles: [(&str, &str); 2] = [("Instant", "now"), ("SystemTime", "")];
+    let threading_idents = ["Mutex", "RwLock", "Condvar", "mpsc"];
+
+    for i in 0..f.sig.len() {
+        if f.test_mask[i] {
             continue;
         }
-        let lineno = i + 1;
-        if !wall_clock_allowed {
-            for pat in WALL_CLOCK_PATTERNS {
-                if trimmed.contains(pat) {
-                    report.diagnostics.push(Diagnostic::new(
+        let kind = f.sig_kind(i);
+        if kind != TokenKind::Ident {
+            continue;
+        }
+        let text = f.sig_text(i);
+        let line = f.sig_line(i);
+        let clockish = (text == "Instant" && f.is_op(i + 1, "::") && is_ident(f, i + 3, "now"))
+            || text == "SystemTime"
+            || is_path2(f, i, "std", "time");
+        let _ = wall_clock_needles; // the tuple list documents the needles
+        if clockish {
+            let what = if text == "std" {
+                "std::time"
+            } else if text == "Instant" {
+                "Instant::now"
+            } else {
+                "SystemTime"
+            };
+            if clock_injected {
+                push(
+                    report,
+                    "L005",
+                    format!(
+                        "process-clock access (`{what}`) inside the telemetry crate: time \
+                         must be injected by callers (`advance` / `observe_wall`) so \
+                         exports stay byte-identical"
+                    ),
+                    rel,
+                    line,
+                );
+            } else if single_threaded {
+                push(
+                    report,
+                    "L006",
+                    format!(
+                        "clock access (`{what}`) inside the service crate: time is the \
+                         engine's virtual clock, injected by the caller"
+                    ),
+                    rel,
+                    line,
+                );
+            } else if !wall_clock_allowed && (text != "std" || !clock_injected) {
+                // `std::time` mentions outside the injected/single-threaded
+                // crates are only L001 when they name a clock source; plain
+                // `std::time::Duration` plumbing is fine.
+                if text != "std" {
+                    push(
+                        report,
                         "L001",
-                        Severity::Error,
                         format!(
-                            "wall-clock read (`{pat}`) outside the allowlist breaks \
+                            "wall-clock read (`{what}`) outside the allowlist breaks \
                              simulation determinism"
                         ),
-                        format!("{rel}:{lineno}"),
-                    ));
+                        rel,
+                        line,
+                    );
                 }
             }
         }
-        if unwrap_checked && trimmed.contains(UNWRAP_PATTERN) {
-            report.diagnostics.push(Diagnostic::new(
+        if unwrap_checked && is_method_call(f, i, "unwrap") {
+            push(
+                report,
                 "L002",
-                Severity::Error,
                 "`unwrap()` in a scheduler/ledger hot path; use `expect()` with an \
-                 invariant message or propagate a `Result`",
-                format!("{rel}:{lineno}"),
-            ));
+                 invariant message or propagate a `Result`"
+                    .to_string(),
+                rel,
+                line,
+            );
         }
-        if clock_injected {
-            for pat in WALL_CLOCK_PATTERNS
-                .iter()
-                .chain(std::iter::once(&STD_TIME_PATTERN))
-            {
-                if trimmed.contains(pat) {
-                    report.diagnostics.push(Diagnostic::new(
-                        "L005",
-                        Severity::Error,
-                        format!(
-                            "process-clock access (`{pat}`) inside the telemetry crate: \
-                             time must be injected by callers (`advance` / \
-                             `observe_wall`) so exports stay byte-identical"
-                        ),
-                        format!("{rel}:{lineno}"),
-                    ));
-                }
-            }
+        if hash_checked && (text == "HashMap" || text == "HashSet") {
+            push(
+                report,
+                "L004",
+                format!(
+                    "hash-based collection (`{text}`) in a solver-adjacent crate: \
+                     iteration order must be deterministic for reproducible models and \
+                     audit replay; use `BTree{}`",
+                    &text[4..]
+                ),
+                rel,
+                line,
+            );
         }
         if single_threaded {
-            for pat in THREADING_PATTERNS {
-                if trimmed.contains(pat) {
-                    report.diagnostics.push(Diagnostic::new(
-                        "L006",
-                        Severity::Error,
-                        format!(
-                            "threading/synchronization primitive (`{pat}`) inside the \
-                             service crate: the service core is single-threaded and \
-                             caller-driven so same-seed runs stay byte-identical"
-                        ),
-                        format!("{rel}:{lineno}"),
-                    ));
-                }
-            }
-            for pat in WALL_CLOCK_PATTERNS
-                .iter()
-                .chain(std::iter::once(&STD_TIME_PATTERN))
-            {
-                if trimmed.contains(pat) {
-                    report.diagnostics.push(Diagnostic::new(
-                        "L006",
-                        Severity::Error,
-                        format!(
-                            "clock access (`{pat}`) inside the service crate: time is \
-                             the engine's virtual clock, injected by the caller"
-                        ),
-                        format!("{rel}:{lineno}"),
-                    ));
-                }
+            let threaded = threading_idents.contains(&text.as_ref())
+                || is_path2(f, i, "std", "thread")
+                || is_path2(f, i, "std", "sync");
+            if threaded {
+                push(
+                    report,
+                    "L006",
+                    format!(
+                        "threading/synchronization primitive (`{text}`) inside the \
+                         service crate: the service core is single-threaded and \
+                         caller-driven so same-seed runs stay byte-identical"
+                    ),
+                    rel,
+                    line,
+                );
             }
         }
-        if ladder_guarded && trimmed.contains(LADDER_RUNG_PATTERN) {
-            report.diagnostics.push(Diagnostic::new(
+        if ladder_guarded && text == "ladder_rung" {
+            push(
+                report,
                 "L007",
-                Severity::Error,
-                "ladder-rung access outside `core::governor`: the rung transitions \
-                 only through the governor's hysteresis state machine (read it via \
-                 `Governor::rung()`, publish it via `Governor::stamp()`)",
-                format!("{rel}:{lineno}"),
-            ));
+                "ladder-rung access outside `core::governor`: the rung transitions only \
+                 through the governor's hysteresis state machine (read it via \
+                 `Governor::rung()`, publish it via `Governor::stamp()`)"
+                    .to_string(),
+                rel,
+                line,
+            );
         }
-        if hash_checked {
-            for pat in HASH_COLLECTION_PATTERNS {
-                if trimmed.contains(pat) {
-                    report.diagnostics.push(Diagnostic::new(
-                        "L004",
-                        Severity::Error,
-                        format!(
-                            "hash-based collection (`{pat}`) in a solver-adjacent crate: \
-                             iteration order must be deterministic for reproducible \
-                             models and audit replay; use `BTree{}`",
-                            &pat[4..]
-                        ),
-                        format!("{rel}:{lineno}"),
-                    ));
+        if concurrency_checked {
+            let concurrent = threading_idents.contains(&text.as_ref())
+                || is_path2(f, i, "std", "thread")
+                || is_path2(f, i, "std", "sync")
+                || is_path2(f, i, "thread", "spawn")
+                || (text.starts_with("Atomic") && text.len() > "Atomic".len())
+                || (text == "static" && is_ident(f, i + 1, "mut"));
+            if concurrent {
+                let what = if text == "static" {
+                    "static mut".to_string()
+                } else if text == "std" {
+                    format!("std::{}", f.sig_text(i + 3))
+                } else {
+                    text.into_owned()
+                };
+                push(
+                    report,
+                    "L010",
+                    format!(
+                        "concurrency primitive (`{what}`) outside the `crates/parallel` \
+                         seam: threads, locks, atomics, and channels live only behind \
+                         the audited worker-pool boundary so the determinism contract \
+                         has exactly one place to hold"
+                    ),
+                    rel,
+                    line,
+                );
+            }
+        }
+    }
+}
+
+/// `L008`: the panic-reachability call graph.
+fn lint_panic_reachability(files: &[SourceFile], report: &mut SrcLintReport) {
+    // Index every non-test fn in the hot-path crates.
+    struct Entry<'a> {
+        file: &'a SourceFile,
+        item: &'a FnItem,
+        /// File stem, for `module::fn()` qualifier resolution.
+        stem: String,
+        crate_prefix: &'a str,
+    }
+    let mut fns: Vec<Entry<'_>> = Vec::new();
+    for f in files {
+        let Some(prefix) = HOT_PATH_CRATES.iter().find(|p| f.rel.starts_with(**p)) else {
+            continue;
+        };
+        let stem = f
+            .rel
+            .rsplit('/')
+            .next()
+            .unwrap_or("")
+            .trim_end_matches(".rs")
+            .to_string();
+        for item in &f.fns {
+            if item.is_test {
+                continue;
+            }
+            fns.push(Entry {
+                file: f,
+                item,
+                stem: stem.clone(),
+                crate_prefix: prefix,
+            });
+        }
+    }
+    // Name index: callee name -> candidate fn ids.
+    let mut by_name: std::collections::BTreeMap<&str, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (id, e) in fns.iter().enumerate() {
+        by_name.entry(e.item.name.as_str()).or_default().push(id);
+    }
+    // Roots: the scheduler cycle entry point(s).
+    let roots: Vec<usize> = fns
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.file.rel == HOT_PATH_ROOT_FILE && e.item.name == HOT_PATH_ROOT_FN)
+        .map(|(id, _)| id)
+        .collect();
+    if roots.is_empty() {
+        // No scheduler in this tree (fixture corpora): the lint is
+        // vacuous, and `hot_path_fns` stays 0 so the self-lint test can
+        // tell "nothing to check" from "checked and clean".
+        return;
+    }
+    // BFS over name-resolved edges, keeping a predecessor for diagnostics.
+    let mut pred: Vec<Option<usize>> = vec![None; fns.len()];
+    let mut seen: Vec<bool> = vec![false; fns.len()];
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    for &r in &roots {
+        seen[r] = true;
+        queue.push_back(r);
+    }
+    while let Some(id) = queue.pop_front() {
+        let caller = &fns[id];
+        for call in &caller.item.calls {
+            let Some(cands) = by_name.get(call.name.as_str()) else {
+                continue;
+            };
+            for &cand in cands {
+                let callee = &fns[cand];
+                let matches = match call.qualifier.as_deref() {
+                    Some("Self") | Some("self") => {
+                        callee.item.impl_type == caller.item.impl_type
+                            && caller.item.impl_type.is_some()
+                    }
+                    Some(q) => {
+                        callee.item.impl_type.as_deref() == Some(q)
+                            || callee.stem == q
+                            || callee.item.module.last().map(String::as_str) == Some(q)
+                    }
+                    None if call.is_method => callee.item.impl_type.is_some(),
+                    // Bare call: free fns, preferring the caller's crate.
+                    None => {
+                        callee.item.impl_type.is_none()
+                            && callee.crate_prefix == caller.crate_prefix
+                    }
+                };
+                if matches && !seen[cand] {
+                    seen[cand] = true;
+                    pred[cand] = Some(id);
+                    queue.push_back(cand);
                 }
             }
         }
     }
-    Ok(())
+    report.hot_path_fns = seen.iter().filter(|s| **s).count();
+    // Report panic sources in every reachable fn.
+    let chain = |mut id: usize| -> String {
+        let mut parts = vec![fns[id].item.qualified()];
+        while let Some(p) = pred[id] {
+            parts.push(fns[p].item.qualified());
+            id = p;
+            if parts.len() > 8 {
+                parts.push("…".to_string());
+                break;
+            }
+        }
+        parts.reverse();
+        parts.join(" → ")
+    };
+    for (id, e) in fns.iter().enumerate() {
+        if !seen[id] {
+            continue;
+        }
+        let via = chain(id);
+        let rel = e.file.rel.as_str();
+        for (mac, line) in &e.item.macros {
+            if PANIC_MACROS.contains(&mac.as_str()) {
+                push(
+                    report,
+                    "L008",
+                    format!(
+                        "`{mac}!` is reachable from the scheduler hot path (via {via}): \
+                         a panic here kills the whole scheduling cycle; propagate a \
+                         typed error instead"
+                    ),
+                    rel,
+                    *line,
+                );
+            }
+        }
+        for line in &e.item.unwrap_sites {
+            push(
+                report,
+                "L008",
+                format!(
+                    "`unwrap()` is reachable from the scheduler hot path (via {via}); \
+                     propagate a `Result` or use an annotated boundary"
+                ),
+                rel,
+                *line,
+            );
+        }
+        if !e.item.has_annotation("expect-boundary") {
+            for line in &e.item.expect_sites {
+                push(
+                    report,
+                    "L008",
+                    format!(
+                        "`expect()` in hot-path fn `{}` (via {via}) without a \
+                         `// srclint: expect-boundary: <why>` annotation: either \
+                         propagate the error or annotate the invariant at the boundary",
+                        e.item.qualified()
+                    ),
+                    rel,
+                    *line,
+                );
+            }
+        }
+        if !e.item.has_annotation("checked-indexing") {
+            for line in &e.item.index_sites {
+                push(
+                    report,
+                    "L008",
+                    format!(
+                        "slice/array index in hot-path fn `{}` (via {via}) without a \
+                         `// srclint: checked-indexing: <why>` annotation: indexing \
+                         panics on out-of-bounds; use `get()` or annotate why bounds \
+                         hold",
+                        e.item.qualified()
+                    ),
+                    rel,
+                    *line,
+                );
+            }
+        }
+    }
+}
+
+/// `L009`: float-determinism in the solver crates.
+fn lint_float_determinism(files: &[SourceFile], report: &mut SrcLintReport) {
+    for f in files {
+        if !in_any(&f.rel, &FLOAT_DETERMINISM_PREFIXES)
+            || FIXED_ORDER_KERNEL_FILES.contains(&f.rel.as_str())
+        {
+            continue;
+        }
+        // Idents with a visible `: f64` / `: f32` ascription in this file
+        // (params and typed lets); field types are invisible at token
+        // level, so literal-adjacent comparisons are the other net.
+        let mut float_idents: std::collections::BTreeSet<String> =
+            std::collections::BTreeSet::new();
+        for i in 0..f.sig.len() {
+            if f.sig_kind(i) == TokenKind::Ident
+                && f.is_punct(i + 1, ":")
+                && !f.is_op(i + 1, "::")
+                && (is_ident(f, i + 2, "f64") || is_ident(f, i + 2, "f32"))
+            {
+                let t = f.sig_text(i).into_owned();
+                if !is_keyword(&t) {
+                    float_idents.insert(t);
+                }
+            }
+        }
+        let floatish = |i: usize| -> bool {
+            match f.sig.get(i) {
+                Some(&raw) => match f.tokens[raw].kind {
+                    TokenKind::Num => num_is_float(f.tokens[raw].bytes(&f.src)),
+                    TokenKind::Ident => {
+                        let t = f.tokens[raw].text(&f.src);
+                        float_idents.contains(t.as_ref())
+                    }
+                    _ => false,
+                },
+                None => false,
+            }
+        };
+        for i in 0..f.sig.len() {
+            if f.test_mask[i] {
+                continue;
+            }
+            // `==` / `!=` with a float operand on either side.
+            for op in ["==", "!="] {
+                if f.is_op(i, op) && (i > 0 && floatish(i - 1) || floatish(i + 2)) {
+                    push(
+                        report,
+                        "L009",
+                        format!(
+                            "float `{op}` comparison in a solver crate: exact float \
+                             equality is not preserved across reduction orders; use \
+                             the fixed-order kernels' tolerance/zero tests \
+                             (`crates/milp/src/kernels.rs`)"
+                        ),
+                        &f.rel,
+                        f.sig_line(i),
+                    );
+                }
+            }
+            // `.sum()` / `.product()` / `.fold()` in a float statement.
+            for red in ["sum", "product", "fold"] {
+                if is_method_call(f, i, red) && statement_mentions_float(f, i) {
+                    push(
+                        report,
+                        "L009",
+                        format!(
+                            "float `{red}` accumulation in a solver crate outside the \
+                             designated fixed-order reduction kernels: iterator \
+                             reductions pin no order once shards solve in parallel; \
+                             route through `crates/milp/src/kernels.rs`"
+                        ),
+                        &f.rel,
+                        f.sig_line(i),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Whether the statement window around sig index `i` (back to the nearest
+/// `;`/`{`/`}`, forward to the call's closing paren or the next `;`)
+/// mentions `f64`/`f32` or a float literal.
+fn statement_mentions_float(f: &SourceFile, i: usize) -> bool {
+    let mut lo = i;
+    while lo > 0 {
+        if f.is_punct(lo, ";") || f.is_punct(lo, "{") || f.is_punct(lo, "}") {
+            break;
+        }
+        lo -= 1;
+    }
+    let mut hi = i;
+    let mut depth = 0i64;
+    while hi < f.sig.len() {
+        if f.is_punct(hi, "(") {
+            depth += 1;
+        } else if f.is_punct(hi, ")") {
+            depth -= 1;
+            if depth <= 0 {
+                break;
+            }
+        } else if depth == 0 && f.is_punct(hi, ";") {
+            break;
+        }
+        hi += 1;
+    }
+    for j in lo..=hi.min(f.sig.len().saturating_sub(1)) {
+        match f.sig_kind(j) {
+            TokenKind::Ident => {
+                let t = f.sig_text(j);
+                if t == "f64" || t == "f32" {
+                    return true;
+                }
+            }
+            TokenKind::Num => {
+                let raw = f.sig[j];
+                if num_is_float(f.tokens[raw].bytes(&f.src)) {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// `L011`: dead operator knobs.
+fn lint_dead_knobs(files: &[SourceFile], report: &mut SrcLintReport) {
+    // Collect the knob structs' fields.
+    let mut knobs: Vec<(String, String, String, u32)> = Vec::new(); // (struct, field, file, line)
+    for f in files {
+        for s in &f.structs {
+            if KNOB_STRUCTS.contains(&s.name.as_str()) {
+                for (field, line) in &s.fields {
+                    knobs.push((s.name.clone(), field.clone(), f.rel.clone(), *line));
+                }
+            }
+        }
+    }
+    if knobs.is_empty() {
+        return; // no knob structs in this tree (fixture corpora)
+    }
+    report.knob_fields_checked = knobs.len();
+    // One pass over all files: collect every field *read* — `.name` not
+    // immediately assigned (`.name = …` is a write; `==` is a read).
+    let mut reads: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for f in files {
+        for i in 1..f.sig.len() {
+            if f.test_mask[i] {
+                continue;
+            }
+            if f.sig_kind(i) != TokenKind::Ident || !f.is_punct(i - 1, ".") {
+                continue;
+            }
+            // Exclude method calls `.name(` and writes `.name = v`.
+            if f.is_punct(i + 1, "(") {
+                continue;
+            }
+            if f.is_punct(i + 1, "=") && !f.is_op(i + 1, "==") && !f.is_op(i + 1, "=>") {
+                continue;
+            }
+            reads.insert(f.sig_text(i).into_owned());
+        }
+    }
+    for (st, field, rel, line) in knobs {
+        if !reads.contains(&field) {
+            push(
+                report,
+                "L011",
+                format!(
+                    "dead knob: `{st}::{field}` is never read in non-test code — the \
+                     field silently ignores operator intent; wire it up or delete it"
+                ),
+                &rel,
+                line,
+            );
+        }
+    }
 }
 
 /// Whether a manifest section header declares a dependency table.
@@ -421,6 +920,23 @@ fn lint_manifest(root: &Path, path: &Path, report: &mut SrcLintReport) -> io::Re
 mod tests {
     use super::*;
 
+    fn scan_tree(name: &str, files: &[(&str, &str)]) -> SrcLintReport {
+        let dir = std::env::temp_dir().join(format!("srclint-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        for (rel, content) in files {
+            let path = dir.join(rel);
+            fs::create_dir_all(path.parent().expect("parent")).expect("temp tree");
+            fs::write(&path, content).expect("write fixture");
+        }
+        let report = lint_workspace(&dir).expect("scan");
+        fs::remove_dir_all(&dir).expect("cleanup");
+        report
+    }
+
+    fn codes(report: &SrcLintReport) -> Vec<&str> {
+        report.diagnostics.iter().map(|d| d.code).collect()
+    }
+
     #[test]
     fn dep_section_recognition() {
         assert!(is_dep_section("[dependencies]"));
@@ -440,105 +956,6 @@ mod tests {
     }
 
     #[test]
-    fn l005_flags_clock_access_in_telemetry_sources() {
-        let dir = std::env::temp_dir().join(format!("srclint-l005-{}", std::process::id()));
-        let src = dir.join("crates/telemetry/src");
-        fs::create_dir_all(&src).expect("temp tree");
-        fs::write(
-            src.join("lib.rs"),
-            "use std::time::Instant;\nfn now() -> Instant { Instant::now() }\n",
-        )
-        .expect("write fixture");
-        let report = lint_workspace(&dir).expect("scan");
-        let l005: Vec<_> = report
-            .diagnostics
-            .iter()
-            .filter(|d| d.code == "L005")
-            .collect();
-        assert!(
-            l005.len() >= 2,
-            "expected L005 on both the import and the call, got {:?}",
-            report.diagnostics
-        );
-        fs::remove_dir_all(&dir).expect("cleanup");
-    }
-
-    #[test]
-    fn l006_flags_threads_channels_and_clocks_in_service_sources() {
-        let dir = std::env::temp_dir().join(format!("srclint-l006-{}", std::process::id()));
-        let src = dir.join("crates/service/src");
-        fs::create_dir_all(&src).expect("temp tree");
-        fs::write(
-            src.join("lib.rs"),
-            "use std::sync::mpsc;\n\
-             use std::thread;\n\
-             use std::sync::Mutex;\n\
-             use std::time::Instant;\n\
-             fn now() -> Instant { Instant::now() }\n",
-        )
-        .expect("write fixture");
-        let report = lint_workspace(&dir).expect("scan");
-        let l006: Vec<_> = report
-            .diagnostics
-            .iter()
-            .filter(|d| d.code == "L006")
-            .collect();
-        assert!(
-            l006.len() >= 5,
-            "expected L006 on channels, threads, locks, and clocks, got {:?}",
-            report.diagnostics
-        );
-        fs::remove_dir_all(&dir).expect("cleanup");
-    }
-
-    #[test]
-    fn l007_flags_rung_writes_outside_the_governor() {
-        let dir = std::env::temp_dir().join(format!("srclint-l007-{}", std::process::id()));
-        let src = dir.join("crates/core/src");
-        fs::create_dir_all(&src).expect("temp tree");
-        // The governor may name the rung; the scheduler may not.
-        fs::write(
-            src.join("governor.rs"),
-            concat!("pub fn stamp(d: &mut D) { d.ladder", "_rung = 1; }\n"),
-        )
-        .expect("write fixture");
-        fs::write(
-            src.join("scheduler.rs"),
-            concat!("fn sneak(d: &mut D) { d.ladder", "_rung = 3; }\n"),
-        )
-        .expect("write fixture");
-        let report = lint_workspace(&dir).expect("scan");
-        let l007: Vec<_> = report
-            .diagnostics
-            .iter()
-            .filter(|d| d.code == "L007")
-            .collect();
-        assert_eq!(l007.len(), 1, "exactly the scheduler line: {l007:?}");
-        assert!(l007[0].context.contains("scheduler.rs"));
-        fs::remove_dir_all(&dir).expect("cleanup");
-    }
-
-    #[test]
-    fn l002_covers_the_service_crate() {
-        assert!(NO_UNWRAP_PREFIXES.contains(&"crates/service/src/"));
-        let dir = std::env::temp_dir().join(format!("srclint-l002-svc-{}", std::process::id()));
-        let src = dir.join("crates/service/src");
-        fs::create_dir_all(&src).expect("temp tree");
-        fs::write(
-            src.join("lib.rs"),
-            concat!("fn f(x: Option<u32>) -> u32 { x", ".unwrap", "() }\n"),
-        )
-        .expect("write fixture");
-        let report = lint_workspace(&dir).expect("scan");
-        assert!(
-            report.diagnostics.iter().any(|d| d.code == "L002"),
-            "expected L002 in the service crate, got {:?}",
-            report.diagnostics
-        );
-        fs::remove_dir_all(&dir).expect("cleanup");
-    }
-
-    #[test]
     fn vendored_values() {
         assert!(value_is_vendored(" { path = \"crates/rand\" }"));
         assert!(value_is_vendored(" { workspace = true }"));
@@ -546,5 +963,118 @@ mod tests {
         assert!(!value_is_vendored(
             " { version = \"1.0\", features = [\"x\"] }"
         ));
+    }
+
+    #[test]
+    fn l005_flags_clock_access_in_telemetry_sources() {
+        let report = scan_tree(
+            "l005",
+            &[(
+                "crates/telemetry/src/lib.rs",
+                "use std::time::Instant;\nfn now() -> Instant { Instant::now() }\n",
+            )],
+        );
+        let n = codes(&report).iter().filter(|c| **c == "L005").count();
+        assert!(n >= 2, "expected L005 on import and call: {report:?}");
+    }
+
+    #[test]
+    fn l006_flags_threads_channels_and_clocks_in_service_sources() {
+        let report = scan_tree(
+            "l006",
+            &[(
+                "crates/service/src/lib.rs",
+                "use std::sync::mpsc;\n\
+                 use std::thread;\n\
+                 use std::sync::Mutex;\n\
+                 use std::time::Instant;\n\
+                 fn now() -> Instant { Instant::now() }\n",
+            )],
+        );
+        let n = codes(&report).iter().filter(|c| **c == "L006").count();
+        assert!(n >= 5, "expected L006 x5: {report:?}");
+    }
+
+    #[test]
+    fn l007_flags_rung_writes_outside_the_governor() {
+        let report = scan_tree(
+            "l007",
+            &[
+                (
+                    "crates/core/src/governor.rs",
+                    "pub fn stamp(d: &mut D) { d.ladder_rung = 1; }\n",
+                ),
+                (
+                    "crates/core/src/scheduler.rs",
+                    "fn sneak(d: &mut D) { d.ladder_rung = 3; }\n",
+                ),
+            ],
+        );
+        let l007: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "L007")
+            .collect();
+        assert_eq!(l007.len(), 1, "exactly the scheduler line: {l007:?}");
+        assert!(l007[0].context.contains("scheduler.rs"));
+    }
+
+    #[test]
+    fn l002_covers_the_service_crate() {
+        assert!(NO_UNWRAP_PREFIXES.contains(&"crates/service/src/"));
+        let report = scan_tree(
+            "l002-svc",
+            &[(
+                "crates/service/src/lib.rs",
+                "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+            )],
+        );
+        assert!(codes(&report).contains(&"L002"), "{report:?}");
+    }
+
+    #[test]
+    fn needles_in_strings_and_comments_do_not_fire() {
+        let report = scan_tree(
+            "strings",
+            &[(
+                "crates/core/src/lib.rs",
+                "fn f() {\n\
+                     let a = \"Instant::now() and .unwrap() and HashMap\";\n\
+                     // Instant::now() .unwrap() HashMap ladder_rung\n\
+                     /* nested /* SystemTime std::sync Mutex */ still */\n\
+                     let b = r#\"static mut AtomicUsize\"#;\n\
+                     print(a, b);\n\
+                 }\n",
+            )],
+        );
+        assert!(report.diagnostics.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn l010_flags_concurrency_outside_the_seam_only() {
+        let report = scan_tree(
+            "l010",
+            &[
+                (
+                    "crates/sim/src/worker.rs",
+                    "use std::thread;\nstatic mut COUNTER: u64 = 0;\n\
+                     fn go(a: &AtomicUsize) { thread::spawn(|| {}); }\n",
+                ),
+                (
+                    "crates/parallel/src/lib.rs",
+                    "use std::thread;\nuse std::sync::Mutex;\n",
+                ),
+            ],
+        );
+        let l010: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "L010")
+            .collect();
+        assert!(l010.len() >= 4, "thread/static-mut/atomic/spawn: {l010:?}");
+        assert!(
+            l010.iter().all(|d| d.context.contains("sim")),
+            "the parallel seam is allowlisted: {l010:?}"
+        );
     }
 }

@@ -1,0 +1,16 @@
+//! Fixture: operator knob struct for L011 — one live field, one dead.
+
+pub struct TetriSchedConfig {
+    pub live_knob: u32,
+    /// L011: written below but never read anywhere in the corpus.
+    pub dead_knob: u32,
+}
+
+pub fn apply(cfg: &TetriSchedConfig) -> u32 {
+    cfg.live_knob + 1
+}
+
+pub fn reset(cfg: &mut TetriSchedConfig) {
+    // A write alone does not count as a read.
+    cfg.dead_knob = 0;
+}

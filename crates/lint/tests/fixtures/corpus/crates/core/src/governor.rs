@@ -1,0 +1,9 @@
+//! Fixture: the ladder-rung owner file — L007 exempt.
+
+pub struct Diag {
+    pub ladder_rung: u8,
+}
+
+pub fn stamp(d: &mut Diag) {
+    d.ladder_rung = 1;
+}

@@ -1,0 +1,5 @@
+//! Fixture: L007 — rung access outside the governor.
+
+pub fn sneak(d: &mut super::governor::Diag) {
+    d.ladder_rung = 3;
+}

@@ -1,0 +1,73 @@
+//! Fixture: the L008 hot-path root plus one violation of each kind,
+//! one annotated-clean twin of each kind, and one unreachable decoy.
+//!
+//! This file is never compiled — it is lexed by the corpus test.
+
+pub struct Scheduler {
+    jobs: Vec<u32>,
+}
+
+impl Scheduler {
+    /// The L008 root: everything called from here is hot.
+    pub fn cycle(&mut self) {
+        let j = self.pick();
+        helper_panics(j as usize);
+        self.indexed(0);
+        self.expected();
+        self.annotated_index(0);
+        self.boundary();
+    }
+
+    fn pick(&self) -> u32 {
+        // L008 (and L002): unwrap reachable from the root.
+        self.jobs.first().copied().unwrap()
+    }
+
+    fn indexed(&self, i: usize) -> u32 {
+        // L008: slice index without a checked-indexing annotation.
+        self.jobs[i]
+    }
+
+    fn expected(&self) -> u32 {
+        // L008: expect without an expect-boundary annotation.
+        self.jobs.first().copied().expect("non-empty")
+    }
+
+    // srclint: checked-indexing: fixture golden — i is always 0 here and
+    // jobs is non-empty by construction.
+    fn annotated_index(&self, i: usize) -> u32 {
+        self.jobs[i]
+    }
+
+    // srclint: expect-boundary: fixture golden — the invariant holds by
+    // construction.
+    fn boundary(&self) -> u32 {
+        self.jobs.first().copied().expect("non-empty")
+    }
+}
+
+fn helper_panics(n: usize) {
+    if n > 3 {
+        // L008: panic!-family macro reachable from the root.
+        panic!("fixture: reachable panic");
+    }
+}
+
+fn never_called() {
+    // NOT reachable from `cycle`: must not produce an L008 finding.
+    unreachable!("fixture decoy");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn masked() {
+        // An unwrap under #[cfg(test)] must not fire.
+        let _ = Some(1).unwrap();
+    }
+}
+
+/// Code *after* the test module is still analyzed: L002 must fire here.
+pub fn post_test_mod(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,13 @@
+//! Fixture: the designated fixed-order kernel file — L009 exempt.
+
+pub fn fixed_sum(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x;
+    }
+    acc
+}
+
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}

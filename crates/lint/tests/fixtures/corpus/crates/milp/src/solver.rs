@@ -1,0 +1,17 @@
+//! Fixture: L009 float-determinism violations, plus literal needles that
+//! must not fire.
+
+pub fn close(a: f64, b: f64) -> bool {
+    // L009: exact float equality.
+    a == b
+}
+
+pub fn total(xs: &[f64]) -> f64 {
+    // L009: float reduction outside the designated kernels.
+    xs.iter().copied().sum::<f64>()
+}
+
+pub fn needle() -> &'static str {
+    // The needle below lives in a string literal: no finding.
+    "a == b && xs.iter().sum::<f64>()"
+}

@@ -1,0 +1,9 @@
+//! Fixture: the concurrency seam — L010 exempt.
+
+use std::sync::Mutex;
+use std::thread;
+
+pub fn seam(m: &Mutex<u32>) {
+    let _ = thread::spawn(|| {});
+    let _ = m;
+}

@@ -1,0 +1,10 @@
+//! Fixture: L006 — threads, channels, and clocks in the service crate.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::thread;
+use std::time::Instant;
+
+pub fn now() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,10 @@
+//! Fixture: L010 concurrency primitives outside the seam.
+
+use std::thread;
+
+static mut COUNTER: u64 = 0;
+
+pub fn go(a: &std::sync::atomic::AtomicUsize) {
+    thread::spawn(|| {});
+    let _ = a;
+}

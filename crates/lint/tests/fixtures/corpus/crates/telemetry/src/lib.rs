@@ -1,0 +1,7 @@
+//! Fixture: L005 — clock access inside the telemetry crate.
+
+use std::time::Instant;
+
+pub fn now() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,244 @@
+//! Golden tests for the token-based workspace lints (`L001`–`L011`) over
+//! the on-disk fixture corpus in `tests/fixtures/corpus/`.
+//!
+//! The corpus is a miniature workspace: a hot-path root with one
+//! violation of every L008 kind plus annotated-clean twins, L009/L010
+//! violations next to their designated exemption files, a knob struct
+//! with a dead field, and a needle file where every banned pattern
+//! appears only inside strings, doc comments, and nested block comments.
+
+use std::path::{Path, PathBuf};
+
+use lint::src_lint::SrcLintReport;
+use lint::Diagnostic;
+
+fn corpus() -> SrcLintReport {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/corpus");
+    lint::lint_workspace(&root).expect("corpus scan")
+}
+
+fn with_code<'a>(report: &'a SrcLintReport, code: &str) -> Vec<&'a Diagnostic> {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == code)
+        .collect()
+}
+
+fn scan_tree(name: &str, files: &[(&str, &str)]) -> SrcLintReport {
+    let dir = std::env::temp_dir().join(format!("srclint-corpus-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for (rel, content) in files {
+        let path = dir.join(rel);
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("temp tree");
+        std::fs::write(&path, content).expect("write fixture");
+    }
+    let report = lint::lint_workspace(&dir).expect("scan");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+    report
+}
+
+#[test]
+fn l008_flags_exactly_the_reachable_unannotated_sites() {
+    let report = corpus();
+    let l008 = with_code(&report, "L008");
+    assert_eq!(l008.len(), 4, "panic, unwrap, expect, index: {l008:#?}");
+    assert!(l008.iter().all(|d| d.context.contains("scheduler.rs")));
+    let msgs: Vec<&str> = l008.iter().map(|d| d.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("`panic!`")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("`unwrap()`")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("`expect()`")), "{msgs:?}");
+    assert!(
+        msgs.iter().any(|m| m.contains("slice/array index")),
+        "{msgs:?}"
+    );
+    // Every diagnostic names its call chain from the root.
+    assert!(
+        msgs.iter().all(|m| m.contains("Scheduler::cycle")),
+        "{msgs:?}"
+    );
+    // The unreachable decoy and the annotated twins stay silent.
+    assert!(!msgs.iter().any(|m| m.contains("unreachable")), "{msgs:?}");
+    assert!(
+        !msgs
+            .iter()
+            .any(|m| m.contains("Scheduler::annotated_index") || m.contains("Scheduler::boundary")),
+        "{msgs:?}"
+    );
+}
+
+#[test]
+fn l008_reachable_set_is_reported_for_honesty() {
+    let report = corpus();
+    // cycle, pick, indexed, expected, annotated_index, boundary,
+    // helper_panics — but not never_called or post_test_mod.
+    assert_eq!(report.hot_path_fns, 7, "{report:#?}");
+}
+
+#[test]
+fn l009_fires_in_solver_files_but_not_the_kernel_file() {
+    let report = corpus();
+    let l009 = with_code(&report, "L009");
+    assert_eq!(l009.len(), 2, "float `==` and float `sum`: {l009:#?}");
+    assert!(l009
+        .iter()
+        .all(|d| d.context.contains("milp/src/solver.rs")));
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.context.contains("kernels.rs")),
+        "the designated kernel file is exempt: {report:#?}"
+    );
+}
+
+#[test]
+fn l010_fires_outside_the_seam_and_stays_silent_inside_it() {
+    let report = corpus();
+    let l010 = with_code(&report, "L010");
+    // std::thread, static mut, AtomicUsize, std::sync, thread::spawn in
+    // worker.rs — plus the deliberate service-crate primitives (which
+    // draw L006 *and* L010; both contracts hold independently).
+    let worker: Vec<_> = l010
+        .iter()
+        .filter(|d| d.context.contains("sim/src/worker.rs"))
+        .collect();
+    assert!(worker.len() >= 4, "{worker:#?}");
+    assert!(
+        !l010.iter().any(|d| d.context.contains("parallel")),
+        "the parallel seam is the allowed home: {l010:#?}"
+    );
+}
+
+#[test]
+fn l011_flags_the_dead_knob_only() {
+    let report = corpus();
+    let l011 = with_code(&report, "L011");
+    assert_eq!(l011.len(), 1, "{l011:#?}");
+    assert!(l011[0].message.contains("TetriSchedConfig::dead_knob"));
+    assert_eq!(report.knob_fields_checked, 2);
+}
+
+#[test]
+fn l005_l006_l007_goldens() {
+    let report = corpus();
+    let l005 = with_code(&report, "L005");
+    assert_eq!(l005.len(), 2, "telemetry import + call: {l005:#?}");
+    let l006 = with_code(&report, "L006");
+    assert!(
+        l006.len() >= 5,
+        "service threads/channels/clocks: {l006:#?}"
+    );
+    let l007 = with_code(&report, "L007");
+    assert_eq!(l007.len(), 1, "{l007:#?}");
+    assert!(l007[0].context.contains("core/src/other.rs"));
+}
+
+#[test]
+fn needle_file_yields_exactly_its_one_real_violation() {
+    let report = corpus();
+    let needles: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.context.contains("needles.rs"))
+        .collect();
+    assert_eq!(needles.len(), 1, "only the real unwrap: {needles:#?}");
+    assert_eq!(needles[0].code, "L002");
+}
+
+#[test]
+fn test_masked_code_is_exempt_but_code_after_the_test_mod_is_not() {
+    let report = corpus();
+    let l002: Vec<_> = with_code(&report, "L002")
+        .into_iter()
+        .filter(|d| d.context.contains("scheduler.rs"))
+        .collect();
+    // `pick` (line 23) and `post_test_mod` (line 73) — but never the
+    // unwrap inside `mod tests`.
+    assert_eq!(l002.len(), 2, "{l002:#?}");
+}
+
+#[test]
+fn l001_respects_the_wall_clock_allowlist() {
+    let report = scan_tree(
+        "l001",
+        &[
+            (
+                "crates/reservation/src/lib.rs",
+                "use std::time::Instant;\npub fn t() -> Instant { Instant::now() }\n",
+            ),
+            (
+                "crates/sim/src/engine.rs",
+                "use std::time::Instant;\npub fn t() -> Instant { Instant::now() }\n",
+            ),
+        ],
+    );
+    let l001 = with_code(&report, "L001");
+    assert!(!l001.is_empty(), "{report:#?}");
+    assert!(
+        l001.iter().all(|d| d.context.contains("reservation")),
+        "engine.rs is allowlisted: {l001:#?}"
+    );
+}
+
+#[test]
+fn l003_flags_unvendored_manifest_deps() {
+    let report = scan_tree(
+        "l003",
+        &[(
+            "crates/x/Cargo.toml",
+            "[package]\nname = \"x\"\n\n[dependencies]\nserde = \"1.0\"\nmilp = { path = \"../milp\" }\n",
+        )],
+    );
+    let l003 = with_code(&report, "L003");
+    assert_eq!(l003.len(), 1, "{l003:#?}");
+    assert!(l003[0].message.contains("`serde`"));
+}
+
+#[test]
+fn l004_flags_hash_collections_in_solver_crates_only() {
+    let report = scan_tree(
+        "l004",
+        &[
+            (
+                "crates/milp/src/lib.rs",
+                "use std::collections::HashMap;\npub fn f(m: &HashMap<u32, u32>) -> usize { m.len() }\n",
+            ),
+            (
+                "crates/bench/src/lib.rs",
+                "use std::collections::HashMap;\npub fn f(m: &HashMap<u32, u32>) -> usize { m.len() }\n",
+            ),
+        ],
+    );
+    let l004 = with_code(&report, "L004");
+    assert!(!l004.is_empty(), "{report:#?}");
+    assert!(
+        l004.iter().all(|d| d.context.contains("milp")),
+        "bench is not solver-adjacent: {l004:#?}"
+    );
+}
+
+#[test]
+fn diagnostics_are_sorted_by_file_line_code() {
+    let report = corpus();
+    let keys: Vec<(String, u32, &str)> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let (f, l) = d.context.rsplit_once(':').expect("rel:line");
+            (f.to_string(), l.parse().expect("line"), d.code)
+        })
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+}
+
+#[test]
+fn corpus_root_exists_and_is_scanned() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/corpus");
+    assert!(Path::new(&root).is_dir());
+    let report = corpus();
+    assert!(report.files_scanned >= 11, "{report:#?}");
+    assert!(report.tokens_scanned > 500, "{report:#?}");
+}

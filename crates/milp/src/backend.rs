@@ -99,6 +99,8 @@ impl HeuristicBackend {
         Ok(sol)
     }
 
+    // srclint: checked-indexing: the warm-start vector's length is checked
+    // against num_vars before the per-variable snap loop indexes it.
     fn solve_with_simplex(
         &self,
         model: &Model,

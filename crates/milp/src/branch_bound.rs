@@ -59,7 +59,9 @@ fn make_audit(
 
 impl PartialEq for Node {
     fn eq(&self, other: &Self) -> bool {
-        self.bound == other.bound && self.seq == other.seq
+        // Defined via the total order below so the frontier's equality and
+        // ordering always agree (and no raw float `==` is involved).
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for Node {}
@@ -122,6 +124,13 @@ impl BranchBound {
         Ok(sol)
     }
 
+    // srclint: checked-indexing: all per-variable vectors (bounds, warm
+    // starts, incumbents) are built from model.vars() and indexed by
+    // branch columns from most_fractional over the same model; warm-start
+    // length is validated before use.
+    // srclint: expect-boundary: gap termination is only reached inside
+    // `if let Some(..) = &incumbent`, so the incumbent provably exists;
+    // its absence would be control-flow corruption, not bad input.
     fn solve_with_simplex(
         &self,
         model: &Model,
@@ -572,6 +581,8 @@ impl BranchBound {
 /// Finds the integer-constrained variable whose relaxation value is farthest
 /// from integral (closest to `0.5` fractionality). Returns `None` when the
 /// assignment is integral within `tol`.
+// srclint: checked-indexing: values is a per-variable vector zipped with
+// model.vars() of the same length.
 pub(crate) fn most_fractional(model: &Model, values: &[f64], tol: f64) -> Option<(usize, f64)> {
     let mut best: Option<(usize, f64, f64)> = None; // (index, value, score)
     for (j, v) in model.vars().iter().enumerate() {

@@ -25,6 +25,7 @@
 //! over the original [`Model`] (or the audited presolved model) and the
 //! shipped certificate data.
 
+use crate::kernels::{fixed_dot, fixed_max, is_nonzero};
 use crate::lint::{propagate_bounds, Certificate, Diagnostic, Severity, PROPAGATION_PASSES};
 use crate::model::{Model, Sense, VarKind};
 use crate::status::{Solution, SolveStatus};
@@ -198,6 +199,8 @@ impl CertifyReport {
 /// integrality, every constraint row, and the claimed objective value.
 ///
 /// Statuses without an assignment have no primal claim and pass trivially.
+// srclint: checked-indexing: x.len() == num_vars is checked at entry, and
+// every constraint term's VarId indexes a model variable by construction.
 pub fn check_solution(model: &Model, sol: &Solution) -> Result<(), String> {
     if !sol.status.has_solution() {
         return Ok(());
@@ -228,7 +231,7 @@ pub fn check_solution(model: &Model, sol: &Solution) -> Result<(), String> {
         }
     }
     for (i, c) in model.constraints().iter().enumerate() {
-        let lhs: f64 = c.terms.iter().map(|&(v, a)| a * x[v.index()]).sum();
+        let lhs = fixed_dot(c.terms.iter().map(|&(v, a)| (a, x[v.index()])));
         let tol = scaled(PRIMAL_TOL, c.rhs);
         let ok = match c.sense {
             Sense::Le => lhs <= c.rhs + tol,
@@ -255,6 +258,9 @@ pub fn check_solution(model: &Model, sol: &Solution) -> Result<(), String> {
 /// Checks dual feasibility of `y` for the (maximization) model under the
 /// given bounds and returns the certified dual upper bound
 /// `yᵀb + Σ_j max over [lb_j, ub_j] of d_j x_j` where `d = c - yᵀA`.
+// srclint: checked-indexing: y.len() is checked against num_constraints at
+// entry; yta/lb/ub are per-variable vectors the callers build from
+// model.vars(), indexed by VarId / 0..num_vars.
 pub fn dual_bound(model: &Model, lb: &[f64], ub: &[f64], y: &[f64]) -> Result<f64, String> {
     if y.len() != model.num_constraints() {
         return Err(format!(
@@ -276,7 +282,7 @@ pub fn dual_bound(model: &Model, lb: &[f64], ub: &[f64], y: &[f64]) -> Result<f6
             }
             _ => {}
         }
-        if yi != 0.0 {
+        if is_nonzero(yi) {
             for &(v, a) in &c.terms {
                 yta[v.index()] += yi * a;
             }
@@ -303,11 +309,12 @@ pub fn dual_bound(model: &Model, lb: &[f64], ub: &[f64], y: &[f64]) -> Result<f6
         } else {
             // Numerically zero reduced cost: the exact max contribution over
             // the finite endpoints (the drift is O(|d| * bound), negligible).
-            let contrib = [lb[j], ub[j]]
-                .into_iter()
-                .filter(|b| b.is_finite())
-                .map(|b| d * b)
-                .fold(f64::NEG_INFINITY, f64::max);
+            let contrib = fixed_max(
+                [lb[j], ub[j]]
+                    .into_iter()
+                    .filter(|b| b.is_finite())
+                    .map(|b| d * b),
+            );
             if contrib.is_finite() {
                 bound += contrib;
             }
@@ -319,6 +326,8 @@ pub fn dual_bound(model: &Model, lb: &[f64], ub: &[f64], y: &[f64]) -> Result<f6
 /// Verifies a Farkas infeasibility certificate: under the dual sign
 /// conditions, the minimum of `(yᵀA)x` over the variable box must strictly
 /// exceed `yᵀb`, so no point in the box satisfies all rows.
+// srclint: checked-indexing: y.len() is checked against num_constraints at
+// entry; w/lb/ub are per-variable vectors indexed by VarId / 0..num_vars.
 pub fn verify_farkas(model: &Model, lb: &[f64], ub: &[f64], y: &[f64]) -> Result<(), String> {
     if y.len() != model.num_constraints() {
         return Err(format!(
@@ -340,7 +349,7 @@ pub fn verify_farkas(model: &Model, lb: &[f64], ub: &[f64], y: &[f64]) -> Result
             }
             _ => {}
         }
-        if yi != 0.0 {
+        if is_nonzero(yi) {
             for &(v, a) in &c.terms {
                 w[v.index()] += yi * a;
             }
@@ -377,6 +386,8 @@ pub fn verify_farkas(model: &Model, lb: &[f64], ub: &[f64], y: &[f64]) -> Result
 /// Verifies an unboundedness ray: every component growing toward an
 /// infinite bound, every row's activity moving in a feasible direction,
 /// and a strictly positive objective rate.
+// srclint: checked-indexing: ray.len() is checked against num_vars at
+// entry; lb/ub are per-variable vectors from the same callers.
 pub fn verify_ray(model: &Model, lb: &[f64], ub: &[f64], ray: &[f64]) -> Result<(), String> {
     if ray.len() != model.num_vars() {
         return Err(format!(
@@ -417,7 +428,7 @@ pub fn verify_ray(model: &Model, lb: &[f64], ub: &[f64], ray: &[f64]) -> Result<
             ));
         }
     }
-    let growth: f64 = model.vars().iter().zip(ray).map(|(v, &r)| v.obj * r).sum();
+    let growth = fixed_dot(model.vars().iter().zip(ray).map(|(v, &r)| (v.obj, r)));
     if growth > RAY_TOL {
         Ok(())
     } else {
@@ -426,6 +437,8 @@ pub fn verify_ray(model: &Model, lb: &[f64], ub: &[f64], ray: &[f64]) -> Result<
 }
 
 /// Clones `model` with the given bound overrides installed.
+// srclint: checked-indexing: lb/ub are per-variable vectors of length
+// num_vars at every call site (base_bounds / node_bounds products).
 pub fn bounded_model(model: &Model, lb: &[f64], ub: &[f64]) -> Model {
     let mut m = model.clone();
     for j in 0..m.num_vars() {
@@ -472,6 +485,8 @@ pub fn mint_infeasibility_proof(
 }
 
 /// Base (integer-rounded) bounds of a model, as branch-and-bound sees them.
+// srclint: checked-indexing: lb/ub are allocated to num_vars and indexed
+// by the enumeration over model.vars() of the same length.
 fn base_bounds(model: &Model) -> (Vec<f64>, Vec<f64>) {
     let n = model.num_vars();
     let mut lb = vec![0.0; n];
@@ -493,6 +508,8 @@ fn base_bounds(model: &Model) -> (Vec<f64>, Vec<f64>) {
 }
 
 /// Materializes a node's bounds from the base bounds plus its patches.
+// srclint: checked-indexing: patch indices are range-checked against
+// lb.len() right before use; an out-of-range patch returns Err.
 fn node_bounds(
     base_lb: &[f64],
     base_ub: &[f64],
@@ -521,6 +538,9 @@ fn c003(message: String, context: String) -> Diagnostic {
 /// Complementary slackness of the incumbent against its node's duals:
 /// active duals imply tight rows, decisive reduced costs imply the
 /// variable rests at the matching bound.
+// srclint: checked-indexing: duals has one entry per constraint and
+// yta/lb/ub/x one per variable; the caller (certify_tree) validates both
+// lengths before invoking this check.
 fn check_complementary_slackness(
     model: &Model,
     lb: &[f64],
@@ -531,7 +551,7 @@ fn check_complementary_slackness(
     let mut yta = vec![0.0; model.num_vars()];
     for (i, c) in model.constraints().iter().enumerate() {
         let yi = duals[i];
-        if yi != 0.0 {
+        if is_nonzero(yi) {
             for &(v, a) in &c.terms {
                 yta[v.index()] += yi * a;
             }
@@ -540,7 +560,7 @@ fn check_complementary_slackness(
             continue;
         }
         if yi.abs() > CS_TOL {
-            let lhs: f64 = c.terms.iter().map(|&(v, a)| a * x[v.index()]).sum();
+            let lhs = fixed_dot(c.terms.iter().map(|&(v, a)| (a, x[v.index()])));
             if (lhs - c.rhs).abs() > scaled(CS_TOL, c.rhs) {
                 return Err(format!(
                     "row {i} (`{}`) has dual {yi} but slack {}",
@@ -569,6 +589,9 @@ fn check_complementary_slackness(
 }
 
 /// Replays a branch-and-bound audit tree and validates every claim in it.
+// srclint: checked-indexing: node/parent indices are range-checked against
+// nodes.len() as the tree is walked (out-of-range indices become C002
+// diagnostics, not accesses); per-variable vectors come from base_bounds.
 fn certify_tree(sol: &Solution, audit: &SolveAudit, diags: &mut Vec<Diagnostic>) {
     let m = &audit.solved_model;
     let (base_lb, base_ub) = base_bounds(m);
@@ -1060,9 +1083,11 @@ pub fn certify_solution(model: &Model, sol: &Solution) -> CertifyReport {
 /// Compiled away in release builds.
 pub fn debug_postcheck(model: &Model, sol: &Solution) {
     if cfg!(debug_assertions) {
-        if let Err(e) = check_solution(model, sol) {
-            panic!("solver returned an uncertifiable solution: {e}");
-        }
+        let check = check_solution(model, sol);
+        debug_assert!(
+            check.is_ok(),
+            "solver returned an uncertifiable solution: {check:?}"
+        );
     }
 }
 

@@ -13,6 +13,9 @@ use crate::status::SolverStats;
 ///
 /// Returns the objective and assignment of an integer-feasible point, or
 /// `None` when the dive dead-ends.
+// srclint: checked-indexing: j comes from most_fractional, which only
+// returns column indices of the same model; lb/ub/values/snapped are
+// per-variable vectors of num_vars entries.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn dive(
     model: &Model,

@@ -42,6 +42,7 @@ pub mod certify;
 pub mod config;
 pub mod error;
 pub mod heuristics;
+pub mod kernels;
 pub mod lint;
 pub mod model;
 pub mod presolve;

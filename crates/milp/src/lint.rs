@@ -300,6 +300,9 @@ pub struct Propagation {
 /// Always returns the final bounds; any trivial infeasibility found —
 /// crossed bounds, an empty integer domain, a row violated by every point
 /// inside the final bounds — is reported as a [`Certificate`].
+// srclint: checked-indexing: lb/ub are collected from model.vars() and
+// every index is a VarId of the same model or an enumeration bounded by
+// num_vars.
 pub fn propagate_bounds(model: &Model, passes: usize) -> Propagation {
     let mut lb: Vec<f64> = model.vars().iter().map(|v| v.lb).collect();
     let mut ub: Vec<f64> = model.vars().iter().map(|v| v.ub).collect();
@@ -490,6 +493,9 @@ const COEFF_RATIO_WARN: f64 = 1e6;
 ///   magnitude ratio exceeds 1e6,
 /// - `M007` (Error + certificate) — a row violated by every point inside
 ///   the propagated variable bounds.
+// srclint: checked-indexing: `referenced` is allocated to num_vars and
+// VarId accesses are explicitly range-guarded; certificate var/row indices
+// come from propagate_bounds over the same model.
 pub fn lint_model(model: &Model) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
 
@@ -497,13 +503,13 @@ pub fn lint_model(model: &Model) -> Vec<Diagnostic> {
     let mut referenced = vec![false; model.num_vars()];
     for c in model.constraints() {
         for &(v, coeff) in &c.terms {
-            if coeff != 0.0 && v.index() < referenced.len() {
+            if crate::kernels::is_nonzero(coeff) && v.index() < referenced.len() {
                 referenced[v.index()] = true;
             }
         }
     }
     for (j, v) in model.vars().iter().enumerate() {
-        if !referenced[j] && v.obj == 0.0 {
+        if !referenced[j] && crate::kernels::is_zero(v.obj) {
             diags.push(Diagnostic::new(
                 "M001",
                 Severity::Warning,
@@ -656,12 +662,13 @@ pub fn debug_precheck(model: &Model) {
     if cfg!(debug_assertions) {
         for d in lint_model(model) {
             if let Some(cert) = &d.certificate {
-                if let Err(e) = cert.verify(model) {
-                    panic!(
-                        "lint certificate failed verification for {} ({}): {e}",
-                        d.code, d.message
-                    );
-                }
+                let verdict = cert.verify(model);
+                debug_assert!(
+                    verdict.is_ok(),
+                    "lint certificate failed verification for {} ({}): {verdict:?}",
+                    d.code,
+                    d.message
+                );
             }
         }
     }

@@ -3,6 +3,7 @@
 use crate::branch_bound::BranchBound;
 use crate::config::SolverConfig;
 use crate::error::{MilpError, Result};
+use crate::kernels::{fixed_dot, is_nonzero};
 use crate::status::Solution;
 
 /// Identifier of a decision variable within a [`Model`].
@@ -144,7 +145,7 @@ impl LinExpr {
                 _ => terms.push((v, c)),
             }
         }
-        terms.retain(|&(_, c)| c != 0.0);
+        terms.retain(|&(_, c)| is_nonzero(c));
         LinExpr {
             terms,
             constant: self.constant,
@@ -152,13 +153,10 @@ impl LinExpr {
     }
 
     /// Evaluates the expression against a dense assignment.
+    // srclint: checked-indexing: VarIds in the terms index the assignment
+    // of the model that minted them; callers pass num_vars-length slices.
     pub fn eval(&self, values: &[f64]) -> f64 {
-        self.constant
-            + self
-                .terms
-                .iter()
-                .map(|&(v, c)| c * values[v.0])
-                .sum::<f64>()
+        self.constant + fixed_dot(self.terms.iter().map(|&(v, c)| (c, values[v.0])))
     }
 }
 
@@ -216,6 +214,8 @@ impl Model {
     }
 
     /// Installs a whole expression into the objective.
+    // srclint: checked-indexing: VarIds are only minted by this model's
+    // add_var and always index `vars`.
     pub fn add_objective_expr(&mut self, expr: &LinExpr) {
         for &(v, c) in &expr.terms {
             self.vars[v.0].obj += c;
@@ -273,6 +273,8 @@ impl Model {
     }
 
     /// Read access to a variable description.
+    // srclint: checked-indexing: VarIds are only minted by this model's
+    // add_var and always index `vars`.
     pub fn var(&self, id: VarId) -> &Variable {
         &self.vars[id.0]
     }
@@ -283,6 +285,8 @@ impl Model {
     }
 
     /// Read access to a constraint.
+    // srclint: checked-indexing: ConstraintIds are only minted by this
+    // model's add_constraint and always index `constraints`.
     pub fn constraint(&self, id: ConstraintId) -> &Constraint {
         &self.constraints[id.0]
     }
@@ -293,6 +297,8 @@ impl Model {
     }
 
     /// Mutably overrides the bounds of a variable (used by branch-and-bound).
+    // srclint: checked-indexing: VarIds are only minted by this model's
+    // add_var and always index `vars`.
     pub fn set_bounds(&mut self, var: VarId, lb: f64, ub: f64) {
         self.vars[var.0].lb = lb;
         self.vars[var.0].ub = ub;
@@ -337,17 +343,13 @@ impl Model {
 
     /// Evaluates the objective for a dense assignment.
     pub fn objective_value(&self, values: &[f64]) -> f64 {
-        self.objective_offset
-            + self
-                .vars
-                .iter()
-                .zip(values)
-                .map(|(v, x)| v.obj * x)
-                .sum::<f64>()
+        self.objective_offset + fixed_dot(self.vars.iter().zip(values).map(|(v, &x)| (v.obj, x)))
     }
 
     /// Checks whether a dense assignment satisfies every constraint, bound,
     /// and integrality requirement within tolerance `tol`.
+    // srclint: checked-indexing: the assignment length is checked against
+    // num_vars at entry, and every term VarId indexes this model.
     pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
         if values.len() != self.vars.len() {
             return false;
@@ -361,7 +363,7 @@ impl Model {
             }
         }
         for c in &self.constraints {
-            let lhs: f64 = c.terms.iter().map(|&(v, coeff)| coeff * values[v.0]).sum();
+            let lhs = fixed_dot(c.terms.iter().map(|&(v, coeff)| (coeff, values[v.0])));
             let ok = match c.sense {
                 Sense::Le => lhs <= c.rhs + tol,
                 Sense::Ge => lhs >= c.rhs - tol,

@@ -14,6 +14,7 @@
 //! termination.
 
 use crate::error::{MilpError, Result};
+use crate::kernels::{fixed_dot, fixed_sum, is_nonzero};
 use crate::model::{Model, Sense};
 use std::cell::Cell;
 
@@ -128,6 +129,9 @@ impl Simplex {
 
     /// Solves the LP relaxation of `model` with overridden variable bounds
     /// (used by branch-and-bound, which tightens bounds per node).
+    // srclint: checked-indexing: lb/ub are caller-supplied per-variable
+    // vectors indexed by 0..lb.len(); branch-and-bound builds both from
+    // model.vars() so the lengths agree by construction.
     pub fn solve_with_bounds(&self, model: &Model, lb: &[f64], ub: &[f64]) -> Result<LpOutcome> {
         // Reject immediately if any bound pair is crossed: branch-and-bound
         // legitimately produces such nodes.
@@ -189,6 +193,9 @@ impl Tableau {
     /// Builds the initial tableau: slack columns per row, structural
     /// variables nonbasic at a finite bound, and artificial columns for rows
     /// whose slack cannot absorb the residual.
+    // srclint: checked-indexing: every index is derived from the tableau's
+    // own dimensions (m rows, n_struct + m + artificials columns), and all
+    // vectors are allocated to exactly those dimensions in this function.
     fn build(model: &Model, s_lb: &[f64], s_ub: &[f64]) -> Tableau {
         let m = model.num_constraints();
         let n_struct = model.num_vars();
@@ -248,7 +255,7 @@ impl Tableau {
         for i in 0..m {
             let mut res = rhs[i];
             for (j, &a) in rows[i].iter().take(n_struct).enumerate() {
-                if a != 0.0 {
+                if is_nonzero(a) {
                     res -= a * nval(j, &state, &lb, &ub);
                 }
             }
@@ -261,12 +268,12 @@ impl Tableau {
             } else {
                 // Rest the slack at its nearest bound and cover the remainder
                 // with an artificial variable.
-                let beta = if res < lb[s] { lb[s] } else { ub[s] };
-                state[s] = if beta == lb[s] {
-                    ColState::AtLower
+                let (beta, rest) = if res < lb[s] {
+                    (lb[s], ColState::AtLower)
                 } else {
-                    ColState::AtUpper
+                    (ub[s], ColState::AtUpper)
                 };
+                state[s] = rest;
                 let mut residual = res - beta;
                 if residual < 0.0 {
                     // Scale the row so the artificial enters with +1 and a
@@ -318,24 +325,34 @@ impl Tableau {
         }
     }
 
-    /// Rest value of a nonbasic column.
+    /// Rest value of a nonbasic column. Callers only ask for columns whose
+    /// state is nonbasic; a basic column answers `0.0` (its value lives in
+    /// `x_basic`, and `0.0` is the contribution a basic column makes to the
+    /// residual sums this feeds).
+    // srclint: checked-indexing: j < n_cols is the column-iteration
+    // invariant of every caller; state/lb/ub are allocated to n_cols.
     fn nonbasic_value(&self, j: usize) -> f64 {
         match self.state[j] {
             ColState::AtLower => self.lb[j],
             ColState::AtUpper => self.ub[j],
             ColState::FreeZero => 0.0,
-            ColState::Basic => unreachable!("basic column has no rest value"),
+            ColState::Basic => {
+                debug_assert!(false, "basic column has no rest value");
+                0.0
+            }
         }
     }
 
     /// Recomputes all basic values from the tableau (numerical refresh).
+    // srclint: checked-indexing: rows/rhs/x_basic are allocated to m rows;
+    // every row has n_cols entries matching state.
     fn refresh_basics(&mut self) {
         self.refactorizations += 1;
         for i in 0..self.m {
             let mut v = self.rhs[i];
             let row = &self.rows[i];
             for (j, &a) in row.iter().enumerate() {
-                if a != 0.0 && self.state[j] != ColState::Basic {
+                if is_nonzero(a) && self.state[j] != ColState::Basic {
                     v -= a * self.nonbasic_value(j);
                 }
             }
@@ -344,6 +361,9 @@ impl Tableau {
     }
 
     /// Recomputes reduced costs for the given phase cost vector.
+    // srclint: checked-indexing: dj/cost/rows are allocated to
+    // n_cols/n_cols/m; basis entries are valid column indices by the pivot
+    // invariant.
     fn refresh_reduced_costs(&mut self, phase1: bool) {
         let c = |j: usize| -> f64 {
             if phase1 {
@@ -361,10 +381,10 @@ impl Tableau {
         }
         for i in 0..self.m {
             let cb = c(self.basis[i]);
-            if cb != 0.0 {
+            if is_nonzero(cb) {
                 let row = &self.rows[i];
                 for (d, &a) in self.dj.iter_mut().zip(row.iter()) {
-                    if a != 0.0 {
+                    if is_nonzero(a) {
                         *d -= cb * a;
                     }
                 }
@@ -384,6 +404,8 @@ impl Tableau {
     /// negation and the slack's column is `T_i * e_i`; slack costs are zero
     /// in both phases and the negation cancels against the transformed row,
     /// so `y_i = -dj[s]` holds for the *original* row orientation.
+    // srclint: checked-indexing: slack columns n_struct..n_struct+m exist
+    // for every row by construction.
     fn extract_duals(&self) -> Vec<f64> {
         (0..self.m).map(|i| -self.dj[self.n_struct + i]).collect()
     }
@@ -392,6 +414,8 @@ impl Tableau {
     /// entering column `j_in` moves in direction `dir` with no blocking
     /// basic variable, so the structural components move at rate `dir` (for
     /// `j_in` itself) and `-rows[i][j_in] * dir` (for structural basics).
+    // srclint: checked-indexing: j_in is a pricing-loop column < n_cols;
+    // the ray is allocated to n_struct and only indexed below it.
     fn extract_ray(&self, j_in: usize, dir: f64) -> Vec<f64> {
         let mut ray = vec![0.0; self.n_struct];
         if j_in < self.n_struct {
@@ -407,6 +431,11 @@ impl Tableau {
     }
 
     /// Runs phase 1 (if artificials exist) and phase 2.
+    // srclint: checked-indexing: all loops run over the tableau's own
+    // dimensions (m rows, n_cols columns, n_struct structural values).
+    // srclint: expect-boundary: a column in ColState::Basic appears in
+    // `basis` by the pivot invariant (pivot() records every entering
+    // column); its absence would mean tableau corruption, not bad input.
     fn solve(&mut self) -> Result<LpOutcome> {
         if self.art_start < self.n_cols {
             self.refresh_reduced_costs(true);
@@ -418,14 +447,16 @@ impl Tableau {
                     return Err(MilpError::IterationLimit { iterations: 0 });
                 }
             }
-            let infeasibility: f64 = (0..self.m)
-                .filter(|&i| self.basis[i] >= self.art_start)
-                .map(|i| self.x_basic[i].abs())
-                .sum::<f64>()
-                + (self.art_start..self.n_cols)
-                    .filter(|&j| self.state[j] != ColState::Basic)
-                    .map(|j| self.nonbasic_value(j).abs())
-                    .sum::<f64>();
+            let infeasibility = fixed_sum(
+                (0..self.m)
+                    .filter(|&i| self.basis[i] >= self.art_start)
+                    .map(|i| self.x_basic[i].abs())
+                    .chain(
+                        (self.art_start..self.n_cols)
+                            .filter(|&j| self.state[j] != ColState::Basic)
+                            .map(|j| self.nonbasic_value(j).abs()),
+                    ),
+            );
             if infeasibility > 1e-6 {
                 // The phase-1 optimum's duals are a Farkas infeasibility
                 // candidate; refresh first so the extraction is not stale.
@@ -478,11 +509,7 @@ impl Tableau {
                 *v = self.ub[j];
             }
         }
-        let objective: f64 = values
-            .iter()
-            .enumerate()
-            .map(|(j, &x)| self.cost[j] * x)
-            .sum();
+        let objective = fixed_dot(self.cost.iter().zip(values.iter()).map(|(&c, &x)| (c, x)));
         let duals = self.extract_duals();
         Ok(LpOutcome::Optimal {
             objective,
@@ -492,6 +519,9 @@ impl Tableau {
     }
 
     /// Pivots until optimality or unboundedness for the current phase.
+    // srclint: checked-indexing: pricing and ratio-test loops index by
+    // column j < n_cols and row i < m; basis entries are valid columns by
+    // the pivot invariant.
     fn optimize(&mut self, phase1: bool) -> Result<PhaseEnd> {
         let mut bland = false;
         let mut stall = 0usize;
@@ -612,7 +642,7 @@ impl Tableau {
                     debug_assert!(enter_span.is_finite());
                     for i in 0..self.m {
                         let alpha = self.rows[i][j_in];
-                        if alpha != 0.0 {
+                        if is_nonzero(alpha) {
                             self.x_basic[i] += -alpha * dir * t_best;
                         }
                     }
@@ -630,7 +660,7 @@ impl Tableau {
                     let _ = (r, hits_upper);
                     for i in 0..self.m {
                         let alpha = self.rows[i][j_in];
-                        if alpha != 0.0 {
+                        if is_nonzero(alpha) {
                             self.x_basic[i] += -alpha * dir * enter_span;
                         }
                     }
@@ -651,7 +681,7 @@ impl Tableau {
                             continue;
                         }
                         let alpha = self.rows[i][j_in];
-                        if alpha != 0.0 {
+                        if is_nonzero(alpha) {
                             self.x_basic[i] += -alpha * dir * t_best;
                         }
                     }
@@ -671,6 +701,8 @@ impl Tableau {
     }
 
     /// Gaussian elimination step making column `j` a unit vector at row `r`.
+    // srclint: checked-indexing: r < m and j < n_cols come straight from
+    // the caller's ratio test; rows/rhs/dj are allocated to match.
     fn pivot(&mut self, r: usize, j: usize) {
         let p = self.rows[r][j];
         debug_assert!(p.abs() >= PIVOT_TOL, "pivot too small: {p}");
@@ -687,7 +719,7 @@ impl Tableau {
                 continue;
             }
             let factor = self.rows[i][j];
-            if factor != 0.0 {
+            if is_nonzero(factor) {
                 let row = &mut self.rows[i];
                 for (a, &pa) in row.iter_mut().zip(pivot_row.iter()) {
                     *a -= factor * pa;
@@ -696,7 +728,7 @@ impl Tableau {
             }
         }
         let dfac = self.dj[j];
-        if dfac != 0.0 {
+        if is_nonzero(dfac) {
             for (d, &pa) in self.dj.iter_mut().zip(pivot_row.iter()) {
                 *d -= dfac * pa;
             }

@@ -1,0 +1,31 @@
+//! `tetrisched-parallel`: the workspace's single audited concurrency seam.
+//!
+//! This crate is **deliberately empty**. It exists so that when the
+//! decomposed MILP solver (ROADMAP item 1: partition the placement
+//! problem per equivalence-set shard, solve shards on a worker pool,
+//! recombine under the global objective) introduces threads, the
+//! concurrency machinery has exactly one pre-declared home:
+//!
+//! - `srclint` code `L010` forbids `std::thread`, `std::sync`, channels,
+//!   atomics, and `static mut` in **every** other product crate. Only
+//!   files under `crates/parallel/src/` may name them.
+//! - `srclint` code `L009` forbids float `==`/`!=` and iterator
+//!   `sum`/`fold` reductions in the solver crates outside the fixed-order
+//!   kernels in `crates/milp/src/kernels.rs`. Shard-merge code in this
+//!   crate must therefore route every cross-shard float reduction through
+//!   those kernels, in shard-index order — which is what keeps same-seed
+//!   runs byte-identical even when shard *completion* order varies.
+//!
+//! The contract for future code in this crate:
+//!
+//! 1. **Determinism first.** Worker scheduling may be nondeterministic;
+//!    observable results may not. Merge in a fixed total order (shard
+//!    index), never completion order.
+//! 2. **No shared mutable state.** Workers receive owned inputs and
+//!    return owned outputs; the only synchronization is the join.
+//! 3. **Panics stay inside.** A worker panic must surface as a typed
+//!    error at the seam boundary (`L008` keeps the scheduler hot path
+//!    panic-free; this crate must not reintroduce one via `join()`).
+
+// Intentionally no items yet. The first real resident will be the
+// decomposed-solver worker pool.
